@@ -1,0 +1,56 @@
+"""Ablation A4 — CFSF vs biased matrix factorisation.
+
+Not in the paper's tables (MF postdates its comparator set as a
+mainstream method), but the related work (its refs [12], [20]) is the
+family that ultimately superseded neighbourhood CF; placing CFSF
+against a tuned-lightly biased-SGD MF contextualises the 2009 result
+for a modern reader.  Also reports the Wilcoxon significance of the
+gap.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.baselines import MatrixFactorization
+from repro.core import CFSF
+from repro.eval import evaluate, format_table, paired_comparison
+
+
+def test_ablation_cfsf_vs_mf(benchmark, ml300_given10):
+    split = ml300_given10
+
+    def run():
+        cfsf = evaluate(CFSF(), split, keep_predictions=True)
+        mf = evaluate(
+            MatrixFactorization(n_factors=16, n_epochs=30, seed=0),
+            split,
+            keep_predictions=True,
+        )
+        truth = split.targets_arrays()[2]
+        cmp = paired_comparison(truth, cfsf.predictions, mf.predictions)
+        return cfsf, mf, cmp
+
+    cfsf, mf, cmp = run_once(benchmark, run)
+
+    print()
+    print(
+        format_table(
+            ["method", "MAE", "RMSE", "fit (s)", "predict (s)"],
+            [
+                ["CFSF", cfsf.mae, cfsf.rmse, cfsf.fit_seconds, cfsf.predict_seconds],
+                ["MF (16 factors)", mf.mae, mf.rmse, mf.fit_seconds, mf.predict_seconds],
+            ],
+            title="CFSF vs biased-SGD matrix factorisation (ML_300/Given10)",
+            float_fmt="{:.4f}",
+        )
+    )
+    print(
+        f"paired Wilcoxon p = {cmp.wilcoxon_pvalue:.3g} "
+        f"(mean |err| diff {cmp.mean_diff:+.4f}; negative favours CFSF)"
+    )
+
+    # Both must be competitive methods on this data; neither should
+    # collapse.  Which one wins is substrate-dependent and recorded,
+    # not asserted.
+    assert 0.6 < cfsf.mae < 0.9
+    assert 0.6 < mf.mae < 0.9

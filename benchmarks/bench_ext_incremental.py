@@ -1,0 +1,73 @@
+"""Extension E2 — incremental GIS maintenance (Section VI future work).
+
+Streams ratings into a fitted GIS and compares:
+
+* exact sufficient-statistic updates (:class:`repro.core.IncrementalGIS`,
+  O(|I_u|) per event) against
+* the rebuild-per-batch strategy the paper's offline phase implies.
+
+Asserts exactness (max similarity deviation at rounding level) and a
+material wall-clock advantage at the benchmarked stream shape.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import HARNESS_SEED, run_once
+from repro.core import IncrementalGIS
+from repro.eval import format_table
+from repro.similarity import pairwise_pcc
+
+N_EVENTS = 1500
+REBUILD_EVERY = 150
+
+
+def test_ext_incremental_gis(benchmark, ml300_given10):
+    train = ml300_given10.train
+    rng = np.random.default_rng(HARNESS_SEED)
+
+    def run():
+        gis = IncrementalGIS(train)
+        events = []
+        for _ in range(N_EVENTS):
+            u = int(rng.integers(0, gis.n_users))
+            i = int(rng.integers(0, gis.n_items))
+            events.append((u, i, float(rng.integers(1, 6))))
+
+        start = time.perf_counter()
+        for u, i, r in events:
+            gis.add_rating(u, i, r)
+        t_inc = time.perf_counter() - start
+
+        snapshot = gis.matrix()
+        n_rebuilds = N_EVENTS // REBUILD_EVERY
+        start = time.perf_counter()
+        for _ in range(n_rebuilds):
+            pairwise_pcc(snapshot.values, snapshot.mask, centering="corated_mean")
+        t_rebuild = time.perf_counter() - start
+
+        ref = pairwise_pcc(snapshot.values, snapshot.mask, centering="corated_mean")
+        got = np.vstack([gis.sim_row(j) for j in range(gis.n_items)])
+        max_dev = float(np.abs(ref - got).max())
+        return t_inc, t_rebuild, max_dev
+
+    t_inc, t_rebuild, max_dev = run_once(benchmark, run)
+
+    print()
+    print(
+        format_table(
+            ["strategy", "seconds", "per event (ms)"],
+            [
+                ["incremental (exact)", t_inc, t_inc / N_EVENTS * 1e3],
+                [f"rebuild every {REBUILD_EVERY}", t_rebuild, t_rebuild / N_EVENTS * 1e3],
+            ],
+            title=f"Extension: GIS maintenance over {N_EVENTS} rating events",
+        )
+    )
+    print(f"max |incremental - rebuilt| deviation: {max_dev:.2e}")
+
+    assert max_dev < 1e-9
+    assert t_inc < t_rebuild  # the point of the extension

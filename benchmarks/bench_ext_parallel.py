@@ -1,0 +1,85 @@
+"""Extension E1 — parallel online prediction (Section VI future work).
+
+Measures the process-pool executor against serial prediction on the
+full ML_300/Given10 request stream, and the shared-memory tiled GIS
+construction against the serial kernel.
+
+On a multi-core host the online phase scales with workers (active
+users are independent); on a single-core container (like most CI
+sandboxes) the pools add overhead — the bench records whichever is
+true rather than asserting a speedup, but always asserts bit-equal
+predictions and rounding-level-equal similarities.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.eval import format_table
+from repro.parallel import ParallelPredictor, parallel_item_pcc
+from repro.similarity import item_pcc
+
+WORKER_COUNTS = (2, 4)
+
+
+def test_ext_parallel_online(benchmark, cfsf_ml300, ml300_given10):
+    split = ml300_given10
+    users, items, _ = split.targets_arrays()
+
+    def run():
+        start = time.perf_counter()
+        serial = cfsf_ml300.predict_many(split.given, users, items)
+        t_serial = time.perf_counter() - start
+        rows = [("serial", 1, t_serial, True)]
+        for n in WORKER_COUNTS:
+            with ParallelPredictor(cfsf_ml300, n_workers=n) as pp:
+                pp.predict_many(split.given, users[:50], items[:50])  # warm pool
+                start = time.perf_counter()
+                par = pp.predict_many(split.given, users, items)
+                t_par = time.perf_counter() - start
+            rows.append((f"pool", n, t_par, bool(np.allclose(serial, par))))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(f"host CPUs: {os.cpu_count()}")
+    print(
+        format_table(
+            ["mode", "workers", "seconds", "matches serial"],
+            [list(r) for r in rows],
+            title="Extension: parallel online prediction (ML_300/Given10)",
+        )
+    )
+    # Correctness is unconditional; speedup depends on the host.
+    assert all(match for _, _, _, match in rows)
+
+
+def test_ext_parallel_offline_gis(benchmark, ml300_given10):
+    train = ml300_given10.train
+
+    def run():
+        start = time.perf_counter()
+        ref = item_pcc(train.values, train.mask)
+        t_serial = time.perf_counter() - start
+        rows = [("serial", 1, t_serial, True)]
+        for n in WORKER_COUNTS:
+            start = time.perf_counter()
+            sim = parallel_item_pcc(train, n_workers=n)
+            t_par = time.perf_counter() - start
+            rows.append(("tiled pool", n, t_par, bool(np.allclose(ref, sim, atol=1e-12))))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(
+        format_table(
+            ["mode", "workers", "seconds", "matches serial"],
+            [list(r) for r in rows],
+            title="Extension: shared-memory tiled GIS construction",
+        )
+    )
+    assert all(match for _, _, _, match in rows)

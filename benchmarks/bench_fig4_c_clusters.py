@@ -1,0 +1,57 @@
+"""Fig. 4 — accuracy with C user clusters over ML_300.
+
+Sweeps the offline cluster count (each value refits the model: C is
+an offline parameter).
+
+Paper's shape: MAE high for C < 30 (too-coarse clusters cannot remove
+rating-style diversity), best around C ≈ 30, degrading again past
+C ≈ 90 (too many tiny clusters leave deviations under-estimated),
+with the Given20 curve rising fastest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import HARNESS_SEED, run_once
+from repro.data import make_split
+from repro.eval import ascii_plot, format_table, sweep_cfsf_parameter
+
+C_VALUES = [5, 10, 20, 30, 50, 70, 90, 120, 150]
+
+
+def test_fig4_accuracy_vs_c(benchmark, dataset):
+    def run():
+        series = {}
+        for given_n in (5, 10, 20):
+            split = make_split(
+                dataset, n_train_users=300, given_n=given_n, seed=HARNESS_SEED
+            )
+            results = sweep_cfsf_parameter(split, "n_clusters", C_VALUES)
+            series[f"Given{given_n}"] = [r.mae for _, r in results]
+        return series
+
+    series = run_once(benchmark, run)
+
+    print()
+    rows = [[c, *[series[f"Given{g}"][i] for g in (5, 10, 20)]] for i, c in enumerate(C_VALUES)]
+    print(format_table(["C", "Given5", "Given10", "Given20"], rows,
+                       title="Fig. 4 (measured): MAE vs C over ML_300",
+                       float_fmt="{:.4f}"))
+    print()
+    print(ascii_plot([float(c) for c in C_VALUES], series,
+                     title="Fig. 4 shape", x_label="C user clusters"))
+
+    for name, maes in series.items():
+        maes = np.asarray(maes)
+        best_idx = int(np.argmin(maes))
+        best_c = C_VALUES[best_idx]
+        # Interior optimum: neither the coarsest nor the finest end wins.
+        assert C_VALUES[0] < best_c < C_VALUES[-1] or maes.max() - maes.min() < 0.01, (
+            name,
+            best_c,
+        )
+    # GivenN ordering holds at every C.
+    g5 = np.asarray(series["Given5"])
+    g20 = np.asarray(series["Given20"])
+    assert (g20 < g5).all()

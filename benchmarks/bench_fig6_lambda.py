@@ -1,0 +1,53 @@
+"""Fig. 6 — sensitivity of lambda over ML_300.
+
+Sweeps the SIR'/SUR' balance lambda (online-only) at Given5/10/20.
+
+Paper's shape: MAE first falls then rises as lambda goes 0 -> 1, with
+the minimum at lambda ~ 0.8 (SUR' matters more than SIR').
+
+Measured shape (see EXPERIMENTS.md): the U-shape — both pure-component
+extremes lose to a mixture — reproduces; on this substrate the optimum
+sits lower (lambda ~ 0.4) because the bias-adjusted SIR' is closer in
+strength to SUR' than on the authors' data.  Assertions pin the
+U-shape, not the optimum's exact location.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import HARNESS_SEED, run_once
+from repro.data import make_split
+from repro.eval import ascii_plot, format_table, sweep_cfsf_parameter
+
+LAMBDAS = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+
+
+def test_fig6_lambda_sensitivity(benchmark, dataset):
+    def run():
+        series = {}
+        for given_n in (5, 10, 20):
+            split = make_split(
+                dataset, n_train_users=300, given_n=given_n, seed=HARNESS_SEED
+            )
+            results = sweep_cfsf_parameter(split, "lam", LAMBDAS)
+            series[f"Given{given_n}"] = [r.mae for _, r in results]
+        return series
+
+    series = run_once(benchmark, run)
+
+    print()
+    rows = [[l, *[series[f"Given{g}"][i] for g in (5, 10, 20)]] for i, l in enumerate(LAMBDAS)]
+    print(format_table(["lambda", "Given5", "Given10", "Given20"], rows,
+                       title="Fig. 6 (measured): sensitivity of lambda over ML_300",
+                       float_fmt="{:.4f}"))
+    print()
+    print(ascii_plot(LAMBDAS, series, title="Fig. 6 shape", x_label="lambda"))
+
+    for name, maes in series.items():
+        maes = np.asarray(maes)
+        best_idx = int(np.argmin(maes))
+        # U-shape: an interior mixture beats both pure components.
+        assert 0 < best_idx < len(LAMBDAS) - 1, (name, LAMBDAS[best_idx])
+        assert maes[best_idx] < maes[0] - 1e-4, name    # beats SIR'-only side
+        assert maes[best_idx] < maes[-1] - 1e-4, name   # beats SUR'-only side

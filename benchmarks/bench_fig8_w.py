@@ -1,0 +1,55 @@
+"""Fig. 8 — sensitivity of w (epsilon) over ML_300.
+
+Sweeps Eq. 11's original-vs-smoothed rating weight (online-only) at
+Given5/10/20.
+
+Paper's shape: best accuracy for w in 0.2–0.4; "otherwise, CFSF
+achieves poor accuracy because it considers either original or
+smoothed ratings too much" — i.e. both extremes (w -> 0: only smoothed
+ratings trusted; w -> 1: only originals trusted) lose to a mixture.
+
+Measured shape (see EXPERIMENTS.md): the claim that a *mixture* beats
+the w -> 0 extreme reproduces strongly; on this substrate the optimum
+sits higher (w ~ 0.8) because the generator's cluster-smoothing signal
+is weaker relative to original co-ratings than on the authors' data.
+Assertions pin the mixture-beats-extreme shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import HARNESS_SEED, run_once
+from repro.data import make_split
+from repro.eval import ascii_plot, format_table, sweep_cfsf_parameter
+
+W_VALUES = [0.02, 0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 0.98]
+
+
+def test_fig8_w_sensitivity(benchmark, dataset):
+    def run():
+        series = {}
+        for given_n in (5, 10, 20):
+            split = make_split(
+                dataset, n_train_users=300, given_n=given_n, seed=HARNESS_SEED
+            )
+            results = sweep_cfsf_parameter(split, "epsilon", W_VALUES)
+            series[f"Given{given_n}"] = [r.mae for _, r in results]
+        return series
+
+    series = run_once(benchmark, run)
+
+    print()
+    rows = [[w, *[series[f"Given{g}"][i] for g in (5, 10, 20)]] for i, w in enumerate(W_VALUES)]
+    print(format_table(["w", "Given5", "Given10", "Given20"], rows,
+                       title="Fig. 8 (measured): sensitivity of w over ML_300",
+                       float_fmt="{:.4f}"))
+    print()
+    print(ascii_plot(W_VALUES, series, title="Fig. 8 shape", x_label="w (epsilon)"))
+
+    for name, maes in series.items():
+        maes = np.asarray(maes)
+        # Trusting only smoothed ratings (w -> 0) is the bad extreme.
+        assert maes[0] > maes.min(), name
+        # The optimum is not at the hard w -> 0 end.
+        assert int(np.argmin(maes)) > 0, name

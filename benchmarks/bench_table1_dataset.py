@@ -1,0 +1,41 @@
+"""Table I — statistics of the dataset.
+
+Regenerates the paper's Table I (users, items, ratings/user, density)
+from the evaluation matrix and benchmarks the generator itself.
+
+Paper values: 500 users, 1000 items, 94.4 rated items/user, 9.44%
+density, 1..5 scale.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import HARNESS_SEED, run_once
+from repro.data import dataset_source, make_movielens_like
+from repro.eval import format_table
+
+
+def test_table1_dataset_statistics(benchmark, dataset):
+    stats = run_once(benchmark, dataset.stats)
+
+    print()
+    print(f"data source: {dataset_source(seed=HARNESS_SEED)}")
+    print(format_table(["statistic", "measured", "paper"],
+                       [
+                           ["No. of Users", stats.n_users, 500],
+                           ["No. of Items", stats.n_items, 1000],
+                           ["Avg rated items per user", f"{stats.avg_ratings_per_user:.1f}", 94.4],
+                           ["Density of data", f"{stats.density*100:.2f}%", "9.44%"],
+                           ["Rating scale", f"{stats.rating_scale[0]:g}..{stats.rating_scale[1]:g}", "1..5"],
+                       ],
+                       title="Table I: statistics of the dataset"))
+
+    assert stats.n_users == 500
+    assert stats.n_items == 1000
+    assert abs(stats.avg_ratings_per_user - 94.4) < 4.0
+    assert abs(stats.density - 0.0944) < 0.004
+
+
+def test_table1_generator_speed(benchmark):
+    """Micro-bench: generating the full 500x1000 dataset."""
+    ds = benchmark(lambda: make_movielens_like(seed=HARNESS_SEED))
+    assert ds.ratings.n_users == 500

@@ -1,0 +1,63 @@
+"""Shared fixtures for the benchmark harness.
+
+Every file in this directory regenerates one table or figure of the
+paper (see DESIGN.md's experiment index).  Benchmarks print their
+tables/curves to stdout — run with ``-s`` (or rely on pytest-benchmark
+echoing captured output on failure) and with::
+
+    pytest benchmarks/ --benchmark-only
+
+Heavy artefacts (the dataset, the split grid, fitted models) are
+session-scoped and shared across benchmark files.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CFSF
+from repro.data import RatingMatrix, default_dataset, make_split, paper_grid
+
+#: One root seed for the whole harness — EXPERIMENTS.md numbers are
+#: reproduced bit-for-bit from this.
+HARNESS_SEED = 0
+
+
+@pytest.fixture(scope="session")
+def dataset() -> RatingMatrix:
+    """The 500 x 1000 evaluation matrix (Table I statistics)."""
+    return default_dataset(seed=HARNESS_SEED)
+
+
+@pytest.fixture(scope="session")
+def grid_splits(dataset):
+    """The full ML_{100,200,300} x Given{5,10,20} split grid."""
+    return paper_grid(dataset, seed=HARNESS_SEED)
+
+
+@pytest.fixture(scope="session")
+def ml300_given10(dataset):
+    """The workhorse split for sensitivity figures."""
+    return make_split(dataset, n_train_users=300, given_n=10, seed=HARNESS_SEED)
+
+
+@pytest.fixture(scope="session")
+def cfsf_ml300(ml300_given10) -> CFSF:
+    """A CFSF at paper defaults, fitted once on ML_300."""
+    return CFSF().fit(ml300_given10.train)
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark timing.
+
+    The experiments here are minutes-scale aggregates; statistical
+    repetition belongs to the micro-benches, not to table regeneration.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def assert_close_band(measured: float, low: float, high: float, label: str) -> None:
+    """Assert a measured MAE lies in a sane band (guards against a
+    silently broken harness without pinning absolute values)."""
+    assert low < measured < high, f"{label}: MAE {measured:.4f} outside [{low}, {high}]"

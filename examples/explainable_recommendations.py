@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Explainable predictions: why did CFSF score this item this way?
+
+    python examples/explainable_recommendations.py
+    python examples/explainable_recommendations.py --user 7 --top 5
+
+Neighbourhood recommenders decompose into visible evidence; this
+example fits CFSF, takes one active user's top recommendation, and
+prints the full evidence chain: the fused components (SIR'/SUR'/SUIR'
+with their Eq. 14 weights), the most similar items the user's own
+ratings contributed through, and the like-minded users whose opinions
+of the item carried the most weight.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core import CFSF, explain, recommend_top_n
+from repro.data import default_dataset, make_split
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--user", type=int, default=0, help="active user row")
+    parser.add_argument("--top", type=int, default=3, help="evidence depth")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    ratings = default_dataset(seed=args.seed)
+    split = make_split(ratings, n_train_users=300, given_n=10, seed=args.seed)
+    model = CFSF().fit(split.train)
+
+    rec = recommend_top_n(model, split.given, args.user, n=3)
+    print(f"top recommendations for active user {args.user}: "
+          + ", ".join(f"item {i} ({s:.2f})" for i, s in rec.as_pairs()))
+    print()
+
+    best_item = int(rec.items[0])
+    explanation = explain(model, split.given, args.user, best_item, top_n=args.top)
+    print(explanation.render())
+    print()
+
+    # The user's own given profile, for context.
+    idx, vals = split.given.user_profile(args.user)
+    profile = ", ".join(f"{i}:{v:.0f}" for i, v in zip(idx.tolist(), vals.tolist()))
+    print(f"(the user's given profile: {profile})")
+
+
+if __name__ == "__main__":
+    main()

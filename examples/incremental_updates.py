@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Keeping the GIS up-to-date under a rating stream (Section VI).
+
+    python examples/incremental_updates.py
+    python examples/incremental_updates.py --stream 5000
+
+Simulates a live recommender: a fitted GIS receives a stream of new
+ratings (plus occasional retractions and a new-user fold-in) and must
+keep serving top-M item neighbourhoods.  Compares:
+
+* **rebuild** — recompute the full item-similarity matrix after every
+  batch (what the paper's offline phase would do), vs
+* **incremental** — exact sufficient-statistic updates
+  (:class:`repro.core.IncrementalGIS`), O(|I_u|) per rating.
+
+Both produce the same similarities (the incremental path is exact, not
+approximate); the printout shows the wall-clock gap and verifies the
+maximum similarity deviation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.core import IncrementalGIS
+from repro.data import default_dataset
+from repro.eval import format_table
+from repro.similarity import pairwise_pcc
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--stream", type=int, default=2000, help="ratings in the stream")
+    parser.add_argument("--batch", type=int, default=200, help="rebuild cadence")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    rng = np.random.default_rng(args.seed)
+    ratings = default_dataset(seed=args.seed).subset_users(range(300))
+    print(f"base matrix: {ratings}")
+
+    gis = IncrementalGIS(ratings)
+    events = []
+    for _ in range(args.stream):
+        u = int(rng.integers(0, gis.n_users))
+        i = int(rng.integers(0, gis.n_items))
+        if gis.matrix().mask[u, i] and rng.random() < 0.1:
+            events.append(("remove", u, i, 0.0))
+        else:
+            events.append(("add", u, i, float(rng.integers(1, 6))))
+
+    # --- incremental ----------------------------------------------------
+    start = time.perf_counter()
+    for kind, u, i, r in events:
+        if kind == "add":
+            gis.add_rating(u, i, r)
+        else:
+            gis.remove_rating(u, i)
+    # a new user walks in mid-stream
+    gis.add_user(np.arange(10), rng.integers(1, 6, size=10).astype(float))
+    t_inc = time.perf_counter() - start
+
+    # --- rebuild-per-batch ----------------------------------------------
+    snapshot = gis.matrix()
+    n_rebuilds = max(1, args.stream // args.batch)
+    start = time.perf_counter()
+    for _ in range(n_rebuilds):
+        pairwise_pcc(snapshot.values, snapshot.mask, centering="corated_mean")
+    t_rebuild = time.perf_counter() - start
+
+    # --- verify exactness -------------------------------------------------
+    ref = pairwise_pcc(snapshot.values, snapshot.mask, centering="corated_mean")
+    got = np.vstack([gis.sim_row(j) for j in range(gis.n_items)])
+    max_dev = float(np.abs(ref - got).max())
+
+    print()
+    print(
+        format_table(
+            ["strategy", "events", "seconds", "per event (ms)"],
+            [
+                ["incremental (exact)", args.stream + 1, t_inc, t_inc / args.stream * 1e3],
+                [
+                    f"rebuild every {args.batch}",
+                    args.stream,
+                    t_rebuild,
+                    t_rebuild / args.stream * 1e3,
+                ],
+            ],
+            title="GIS maintenance under a rating stream",
+        )
+    )
+    print()
+    print(f"max |incremental - rebuilt| similarity deviation: {max_dev:.2e}")
+    print(f"speedup at this stream/batch shape: {t_rebuild / t_inc:.1f}x")
+    idx, sims = gis.top_m(0, 10)
+    print(f"live top-10 neighbours of item 0: {idx.tolist()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Sensitivity study: the paper's Figs. 2-4 and 6-8 as terminal plots.
+
+    python examples/parameter_sweep.py                 # all six sweeps
+    python examples/parameter_sweep.py --figure 6      # just lambda
+
+Sweeps one CFSF parameter at a time over ML_300 (Given5/10/20) and
+prints ASCII curves in the shape of the paper's figures:
+
+=======  ==================  ===========================
+figure   parameter           paper's finding
+=======  ==================  ===========================
+Fig. 2   M (similar items)   elbow near M=50-60, flat after
+Fig. 3   K (similar users)   best 20-40, worse beyond
+Fig. 4   C (user clusters)   best ~30, degrades past 90
+Fig. 6   lambda              U-shape, minimum ~0.8
+Fig. 7   delta               minimum ~0.1, rising after
+Fig. 8   w / epsilon         best 0.2-0.4
+=======  ==================  ===========================
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core import CFSFConfig
+from repro.data import default_dataset, make_split
+from repro.eval import ascii_plot, sweep_cfsf_parameter
+
+SWEEPS = {
+    "2": ("top_m_items", [10, 20, 30, 40, 50, 60, 70, 80, 90, 100], "M similar items"),
+    "3": ("top_k_users", [10, 20, 30, 40, 50, 60, 70, 80, 90, 100], "K like-minded users"),
+    "4": ("n_clusters", [10, 20, 30, 50, 70, 90, 100], "C user clusters"),
+    "6": ("lam", [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0], "lambda"),
+    "7": ("delta", [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0], "delta"),
+    "8": ("epsilon", [0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95], "w (epsilon)"),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--figure", choices=sorted(SWEEPS), help="run one figure only")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--given", type=int, nargs="+", default=[5, 10, 20], help="GivenN variants to plot"
+    )
+    args = parser.parse_args()
+
+    ratings = default_dataset(seed=args.seed)
+    figures = [args.figure] if args.figure else sorted(SWEEPS)
+
+    for fig in figures:
+        parameter, values, label = SWEEPS[fig]
+        series = {}
+        for given_n in args.given:
+            split = make_split(ratings, n_train_users=300, given_n=given_n, seed=args.seed)
+            results = sweep_cfsf_parameter(split, parameter, values, base_config=CFSFConfig())
+            series[f"Given{given_n}"] = [r.mae for _, r in results]
+            best_v, best_r = min(results, key=lambda vr: vr[1].mae)
+            print(f"Fig.{fig} {label:20s} Given{given_n}: best {parameter}={best_v} "
+                  f"(MAE {best_r.mae:.4f})")
+        print()
+        print(ascii_plot([float(v) for v in values], series,
+                         title=f"Fig. {fig}: MAE vs {label} over ML_300",
+                         x_label=label))
+        print()
+
+
+if __name__ == "__main__":
+    main()

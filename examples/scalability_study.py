@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Fig. 5 reproduction: online response time vs test-set size.
+
+    python examples/scalability_study.py                  # ~3 min
+    python examples/scalability_study.py --batched        # seconds
+    python examples/scalability_study.py --train 100 300
+
+Fits CFSF and SCBPCC once per training prefix, then times the online
+phase over growing fractions of the 200 test users — the experiment
+behind the paper's Fig. 5.
+
+Serving mode matters and both are shown:
+
+* default (**per-request**): each prediction is an individual
+  ``model.predict`` call, the paper's serving model.  CFSF answers
+  from its cached per-user state over the local M x K matrix; SCBPCC
+  re-scores the whole training population per request.  Expected:
+  linear growth, CFSF several times faster, gap growing with the
+  training size.
+* ``--batched``: the vectorised ``predict_many`` API.  Batching
+  amortises exactly the per-request search the paper measures, so the
+  two methods converge — worth seeing once to understand why the
+  benchmark insists on per-request timing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.baselines import SCBPCC
+from repro.core import CFSF
+from repro.data import default_dataset, make_split, subsample_heldout
+from repro.eval import ascii_plot, format_table, scalability_sweep
+
+
+def serve_per_request(model, split) -> float:
+    """Wall-clock of serving every held-out request one at a time."""
+    users, items, _ = split.targets_arrays()
+    start = time.perf_counter()
+    for u, i in zip(users.tolist(), items.tolist()):
+        model.predict(split.given, u, i)
+    return time.perf_counter() - start
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--train", type=int, nargs="+", default=[300])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--fractions", type=float, nargs="+", default=[0.25, 0.5, 0.75, 1.0]
+    )
+    parser.add_argument(
+        "--batched", action="store_true",
+        help="time the vectorised batch API instead of per-request serving",
+    )
+    args = parser.parse_args()
+
+    ratings = default_dataset(seed=args.seed)
+
+    for n_train in args.train:
+        split = make_split(ratings, n_train_users=n_train, given_n=20, seed=args.seed)
+        if args.batched:
+            sweep = scalability_sweep(
+                split,
+                {"CFSF": lambda: CFSF(), "SCBPCC": lambda: SCBPCC()},
+                fractions=tuple(args.fractions),
+                seed=args.seed,
+                repeats=2,
+            )
+            series = {name: [t for _, t in pts] for name, pts in sweep.items()}
+            mode = "batched predict_many"
+        else:
+            models = {"CFSF": CFSF().fit(split.train), "SCBPCC": SCBPCC().fit(split.train)}
+            series = {name: [] for name in models}
+            for frac in args.fractions:
+                sub = subsample_heldout(split, frac, seed=args.seed)
+                for name, model in models.items():
+                    if hasattr(model, "_cache"):
+                        model._cache.clear()
+                    series[name].append(serve_per_request(model, sub))
+            mode = "per-request serving"
+
+        rows = []
+        for idx, frac in enumerate(args.fractions):
+            t_cfsf = series["CFSF"][idx]
+            t_scb = series["SCBPCC"][idx]
+            rows.append([f"{frac:.0%}", t_cfsf, t_scb, t_scb / t_cfsf])
+        print(
+            format_table(
+                ["testset", "CFSF (s)", "SCBPCC (s)", "SCBPCC/CFSF"],
+                rows,
+                title=f"Online response time ({mode}), ML_{n_train}, Given20",
+            )
+        )
+        print()
+        print(
+            ascii_plot(
+                [f * 100 for f in args.fractions],
+                series,
+                title=f"Fig. 5 shape, ML_{n_train} ({mode})",
+                x_label="% of the 200-user testset",
+                y_label="seconds",
+            )
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

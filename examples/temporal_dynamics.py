@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Time-decayed ratings (Section VI: "dates associated with the ratings").
+
+    python examples/temporal_dynamics.py
+
+Builds a dataset whose early ratings are uninformative (a cold-start /
+taste-exploration era), evaluates recommenders on the most recent
+ratings, and shows that exponentially decaying the stale deviations
+toward each user's mean improves accuracy — the scenario the temporal
+extension targets.  Also sweeps the half-life to show the trade-off:
+too aggressive a decay erases still-valid history.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.baselines import ItemBasedCF, UserBasedCF
+from repro.core import apply_time_decay
+from repro.data import RatingMatrix, SyntheticConfig, make_movielens_like
+from repro.eval import format_table, mae
+
+
+def build_noise_era_dataset(seed: int):
+    """MovieLens-shaped data whose oldest third of ratings is noise."""
+    rng = np.random.default_rng(seed)
+    ds = make_movielens_like(SyntheticConfig(), seed=seed)
+    rm = ds.ratings
+    times = np.zeros(rm.shape)
+    times[rm.mask] = rng.uniform(0.0, 1.0, size=rm.n_ratings)
+    values = rm.values.copy()
+    noise_era = rm.mask & (times < 0.33)
+    values[noise_era] = rng.integers(1, 6, size=int(noise_era.sum()))
+    return RatingMatrix(values, rm.mask), times, rm
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    corrupted, times, clean = build_noise_era_dataset(args.seed)
+    target_mask = clean.mask & (times > 0.85)
+    train_mask = corrupted.mask & ~target_mask
+    train = RatingMatrix(np.where(train_mask, corrupted.values, 0.0), train_mask)
+    users, items = np.nonzero(target_mask)
+    truth = clean.values[users, items]
+    print(f"training ratings: {train.n_ratings}, targets (recent era): {len(users)}")
+    print()
+
+    rows = []
+    for half_life in (None, 1.0, 0.5, 0.2, 0.1, 0.05):
+        if half_life is None:
+            matrix, label = train, "no decay"
+        else:
+            matrix = apply_time_decay(train, times, now=1.0, half_life=half_life)
+            label = f"half-life {half_life}"
+        m_item = mae(
+            truth,
+            ItemBasedCF(adjust_item_means=True).fit(matrix).predict_many(matrix, users, items),
+        )
+        m_user = mae(truth, UserBasedCF().fit(matrix).predict_many(matrix, users, items))
+        rows.append([label, m_item, m_user])
+
+    print(
+        format_table(
+            ["training matrix", "item-based MAE", "user-based MAE"],
+            rows,
+            title="Accuracy on recent ratings when the oldest era is noise",
+        )
+    )
+    print()
+    print(
+        "Reading: moderate decay discounts the noise era and improves both\n"
+        "methods; an extreme half-life also flattens valid history and the\n"
+        "gain reverses — the half-life is a data-dependent knob."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Top-N recommendation: CFSF as a ranked-list recommender.
+
+    python examples/top_n_recommendations.py
+    python examples/top_n_recommendations.py --n 20
+
+Rating prediction (the paper's metric) is a means; the product surface
+of the systems the paper cites is a ranked list.  This example:
+
+1. fits CFSF and produces a top-N list for a few active users,
+2. evaluates ranking quality (precision/recall@N, NDCG@N) against the
+   held-out ratings, counting an item as relevant when its held-out
+   rating is >= 4,
+3. compares CFSF's ranking against a random ranking (the floor) and
+   the item-mean ("popularity") ranking.
+
+A caution worth showing rather than hiding: under the
+held-out-rated-items protocol the popularity ranker is notoriously
+strong (users chose what to rate, and well-rated items are genuinely
+better on average — cf. Cremonesi et al., RecSys 2010), so
+personalised and popularity rankings land close here.  The honest
+win over the random floor is what the assertion-grade tests pin.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.baselines import MeanPredictor
+from repro.core import CFSF, recommend_top_n
+from repro.data import default_dataset, make_split
+from repro.eval import format_table, ndcg_at_n, precision_recall_at_n
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    ratings = default_dataset(seed=args.seed)
+    split = make_split(ratings, n_train_users=300, given_n=10, seed=args.seed)
+    model = CFSF().fit(split.train)
+    popularity = MeanPredictor("item").fit(split.train)
+
+    # 1. A few concrete lists.
+    print(f"top-{args.n} lists for the first three active users:")
+    for user in range(3):
+        rec = recommend_top_n(model, split.given, user, n=args.n)
+        items = ", ".join(f"{i}({s:.1f})" for i, s in rec.as_pairs()[:5])
+        print(f"  user {user}: {items}, ...")
+    print()
+
+    # 2 + 3. Ranking quality over all active users, candidates
+    # restricted to each user's held-out items (the evaluable set).
+    rng = np.random.default_rng(args.seed)
+
+    class RandomRanker:
+        """Scores items uniformly at random (the ranking floor)."""
+
+        def predict_many(self, given, users, items):
+            return rng.uniform(1.0, 5.0, size=len(items))
+
+    rows = []
+    for name, recommender in (
+        ("CFSF", model),
+        ("Popularity", popularity),
+        ("Random", RandomRanker()),
+    ):
+        precisions, recalls, ndcgs, evaluated = [], [], [], 0
+        for user in range(split.given.n_users):
+            heldout = np.nonzero(split.heldout.mask[user])[0]
+            liked = heldout[split.heldout.values[user, heldout] >= 4.0]
+            if liked.size < 3 or heldout.size <= args.n:
+                continue
+            rec = recommend_top_n(
+                recommender, split.given, user, n=args.n, candidate_items=heldout
+            )
+            p, r = precision_recall_at_n(liked, rec.items, args.n)
+            precisions.append(p)
+            recalls.append(r)
+            ndcgs.append(ndcg_at_n(liked, rec.items, args.n))
+            evaluated += 1
+        rows.append(
+            [name, float(np.mean(precisions)), float(np.mean(recalls)),
+             float(np.mean(ndcgs)), evaluated]
+        )
+
+    print(
+        format_table(
+            ["ranker", f"precision@{args.n}", f"recall@{args.n}",
+             f"NDCG@{args.n}", "users"],
+            rows,
+            title="Ranking quality on held-out items (liked = rating >= 4)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

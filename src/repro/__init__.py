@@ -1,0 +1,90 @@
+"""repro — full reproduction of CFSF (Zhang et al., ICPP 2009).
+
+An efficient Collaborative Filtering approach using Smoothing and
+Fusing, plus every baseline and substrate its evaluation depends on.
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+
+Public API highlights
+---------------------
+:class:`repro.core.CFSF`
+    The paper's recommender (offline fit / online predict).
+:mod:`repro.baselines`
+    SIR, SUR, SF, SCBPCC, EMDP, AM, PD comparators.
+:mod:`repro.data`
+    Rating matrices, MovieLens loaders, synthetic generator, GivenN
+    experimental protocol.
+:mod:`repro.eval`
+    MAE metric, protocol driver, table reporting.
+:mod:`repro.parallel`
+    Shared-memory multi-process prediction executor.
+"""
+
+from repro.baselines import (
+    EMDP,
+    MatrixFactorization,
+    SCBPCC,
+    AspectModel,
+    ItemBasedCF,
+    MeanPredictor,
+    PersonalityDiagnosis,
+    Recommender,
+    SimilarityFusion,
+    SlopeOne,
+    UserBasedCF,
+)
+from repro.core import (
+    CFSF,
+    CFSFConfig,
+    IncrementalGIS,
+    apply_time_decay,
+    load_model,
+    recommend_top_n,
+    save_model,
+)
+from repro.data import (
+    GivenNSplit,
+    RatingMatrix,
+    SyntheticConfig,
+    default_dataset,
+    make_movielens_like,
+    make_split,
+    paper_grid,
+)
+from repro.eval import evaluate, mae, rmse
+from repro.parallel import ParallelPredictor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AspectModel",
+    "CFSF",
+    "CFSFConfig",
+    "EMDP",
+    "GivenNSplit",
+    "IncrementalGIS",
+    "ItemBasedCF",
+    "MatrixFactorization",
+    "MeanPredictor",
+    "ParallelPredictor",
+    "PersonalityDiagnosis",
+    "RatingMatrix",
+    "Recommender",
+    "SCBPCC",
+    "SimilarityFusion",
+    "SlopeOne",
+    "SyntheticConfig",
+    "UserBasedCF",
+    "__version__",
+    "apply_time_decay",
+    "default_dataset",
+    "evaluate",
+    "load_model",
+    "mae",
+    "make_movielens_like",
+    "make_split",
+    "paper_grid",
+    "recommend_top_n",
+    "rmse",
+    "save_model",
+]

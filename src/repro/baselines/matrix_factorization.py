@@ -1,0 +1,184 @@
+"""Regularised matrix factorisation (the related-work family [12], [20]).
+
+The paper's Section II-C cites matrix-factorisation CF (Bell/Koren
+2007, Rennie & Srebro 2005) as the other accuracy-oriented line of
+work.  It is not part of Tables II/III, but a credible CF library
+needs the reference point, and the ablation suite uses it to place
+CFSF's accuracy among model-based methods that postdate its
+comparators.
+
+The implementation is the standard biased SGD factorisation
+("FunkSVD" with user/item biases)::
+
+    r̂(u, i) = μ + b_u + b_i + p_u · q_i
+
+trained by stochastic gradient descent on the observed triplets with
+L2 regularisation.  Active users (absent from training) are *folded
+in*: item factors stay fixed and the new user's bias and factor vector
+are fitted by a few epochs on the given ratings — the exact analogue
+of the aspect model's fold-in.
+
+All SGD loops run over shuffled observed-triplet arrays; the inner
+update is vectorised per rating (the factor dimension), which at
+MovieLens scale is fast enough (~10⁶ updates/s) without compiled code.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.base import Recommender
+from repro.data.matrix import RatingMatrix
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive_int
+
+__all__ = ["MatrixFactorization"]
+
+
+class MatrixFactorization(Recommender):
+    """Biased SGD matrix factorisation.
+
+    Parameters
+    ----------
+    n_factors:
+        Latent dimensionality (MovieLens-scale sweet spot: 8–40).
+    n_epochs:
+        Full passes over the training ratings.
+    lr:
+        SGD learning rate.
+    reg:
+        L2 regularisation applied to biases and factors.
+    n_fold_in_epochs:
+        Passes used to fit an active user's bias/factors from their
+        given ratings (item side frozen).
+    init_sd:
+        Initialisation scale of the factor matrices.
+    seed:
+        Initialisation/shuffling seed.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_factors: int = 16,
+        n_epochs: int = 30,
+        lr: float = 0.01,
+        reg: float = 0.05,
+        n_fold_in_epochs: int = 20,
+        init_sd: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        check_positive_int(n_factors, "n_factors")
+        check_positive_int(n_epochs, "n_epochs")
+        check_positive_int(n_fold_in_epochs, "n_fold_in_epochs")
+        if lr <= 0:
+            raise ValueError(f"lr must be > 0, got {lr}")
+        if reg < 0:
+            raise ValueError(f"reg must be >= 0, got {reg}")
+        if init_sd <= 0:
+            raise ValueError(f"init_sd must be > 0, got {init_sd}")
+        self.n_factors = n_factors
+        self.n_epochs = n_epochs
+        self.lr = float(lr)
+        self.reg = float(reg)
+        self.n_fold_in_epochs = n_fold_in_epochs
+        self.init_sd = float(init_sd)
+        self.seed = seed
+        self._mu: float = 0.0
+        self._item_bias: np.ndarray | None = None
+        self._item_factors: np.ndarray | None = None
+        self._train_errors: list[float] = []
+
+    @property
+    def name(self) -> str:
+        return "MF"
+
+    @property
+    def training_rmse_trace(self) -> list[float]:
+        """Per-epoch training RMSE (tests assert broad decrease)."""
+        return list(self._train_errors)
+
+    # ------------------------------------------------------------------
+    def fit(self, train: RatingMatrix) -> "MatrixFactorization":
+        """SGD over the observed training triplets."""
+        super().fit(train)
+        rng = as_generator(self.seed)
+        users_obs, items_obs = np.nonzero(train.mask)
+        r_obs = train.values[users_obs, items_obs]
+        P, Q, F = train.n_users, train.n_items, self.n_factors
+
+        self._mu = train.global_mean()
+        bu = np.zeros(P)
+        bi = np.zeros(Q)
+        pu = rng.normal(0.0, self.init_sd, size=(P, F))
+        qi = rng.normal(0.0, self.init_sd, size=(Q, F))
+        lr, reg = self.lr, self.reg
+        self._train_errors = []
+
+        n = r_obs.size
+        order = np.arange(n)
+        for _ in range(self.n_epochs):
+            rng.shuffle(order)
+            sq_err = 0.0
+            for k in order:
+                u = users_obs[k]
+                i = items_obs[k]
+                pred = self._mu + bu[u] + bi[i] + pu[u] @ qi[i]
+                err = r_obs[k] - pred
+                sq_err += err * err
+                bu[u] += lr * (err - reg * bu[u])
+                bi[i] += lr * (err - reg * bi[i])
+                pu_u = pu[u]
+                pu[u] = pu_u + lr * (err * qi[i] - reg * pu_u)
+                qi[i] = qi[i] + lr * (err * pu_u - reg * qi[i])
+            self._train_errors.append(float(np.sqrt(sq_err / n)))
+
+        self._item_bias = bi
+        self._item_factors = qi
+        return self
+
+    # ------------------------------------------------------------------
+    def fold_in(self, given: RatingMatrix) -> tuple[np.ndarray, np.ndarray]:
+        """Fit (bias, factors) per active user with items frozen.
+
+        Returns ``(biases (n,), factors (n, F))``.
+        """
+        train = self._require_fitted()
+        assert self._item_bias is not None and self._item_factors is not None
+        rng = as_generator(self.seed)
+        n_active = given.n_users
+        bu = np.zeros(n_active)
+        pu = rng.normal(0.0, self.init_sd, size=(n_active, self.n_factors))
+        lr, reg = self.lr, self.reg
+        bi, qi = self._item_bias, self._item_factors
+
+        for row in range(n_active):
+            idx, vals = given.user_profile(row)
+            if idx.size == 0:
+                continue
+            for _ in range(self.n_fold_in_epochs):
+                for i, r in zip(idx, vals):
+                    pred = self._mu + bu[row] + bi[i] + pu[row] @ qi[i]
+                    err = r - pred
+                    bu[row] += lr * (err - reg * bu[row])
+                    pu[row] = pu[row] + lr * (err * qi[i] - reg * pu[row])
+        return bu, pu
+
+    def predict_many(
+        self,
+        given: RatingMatrix,
+        users: np.ndarray | Sequence[int],
+        items: np.ndarray | Sequence[int],
+    ) -> np.ndarray:
+        users, items = self._check_request(given, users, items)
+        assert self._item_bias is not None and self._item_factors is not None
+        bu, pu = self.fold_in(given)
+        pred = (
+            self._mu
+            + bu[users]
+            + self._item_bias[items]
+            + np.einsum("nf,nf->n", pu[users], self._item_factors[items])
+        )
+        return self._clip(pred)

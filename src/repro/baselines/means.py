@@ -1,0 +1,68 @@
+"""Trivial mean predictors: the sanity floor under every table.
+
+Not part of the paper's comparison, but any reproduction needs them:
+if a sophisticated method fails to beat the item-mean predictor, the
+experiment harness (not the method) is usually broken.  The test suite
+asserts exactly that ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Sequence
+
+import numpy as np
+
+from repro.baselines.base import Recommender
+from repro.data.matrix import RatingMatrix
+
+__all__ = ["MeanPredictor"]
+
+
+class MeanPredictor(Recommender):
+    """Predict a constant per user, item, or globally.
+
+    Parameters
+    ----------
+    kind:
+        ``"global"`` — training global mean for everything.
+        ``"item"`` — the item's training mean.
+        ``"user"`` — the active user's mean over their *given* ratings.
+        ``"user_item"`` — the EMDP-style blend
+        ``0.5 * user_mean + 0.5 * item_mean``.
+    """
+
+    def __init__(self, kind: Literal["global", "item", "user", "user_item"] = "item") -> None:
+        if kind not in ("global", "item", "user", "user_item"):
+            raise ValueError(f"unknown kind {kind!r}")
+        self.kind = kind
+        self._item_means: np.ndarray | None = None
+        self._global_mean: float = 0.0
+
+    @property
+    def name(self) -> str:
+        return f"Mean[{self.kind}]"
+
+    def fit(self, train: RatingMatrix) -> "MeanPredictor":
+        super().fit(train)
+        self._global_mean = train.global_mean()
+        self._item_means = train.item_means(fill=self._global_mean)
+        return self
+
+    def predict_many(
+        self,
+        given: RatingMatrix,
+        users: np.ndarray | Sequence[int],
+        items: np.ndarray | Sequence[int],
+    ) -> np.ndarray:
+        users, items = self._check_request(given, users, items)
+        assert self._item_means is not None
+        if self.kind == "global":
+            out = np.full(users.shape, self._global_mean)
+        elif self.kind == "item":
+            out = self._item_means[items]
+        elif self.kind == "user":
+            out = given.user_means(fill=self._global_mean)[users]
+        else:  # user_item
+            user_means = given.user_means(fill=self._global_mean)
+            out = 0.5 * user_means[users] + 0.5 * self._item_means[items]
+        return self._clip(out)

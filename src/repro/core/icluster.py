@@ -1,0 +1,171 @@
+"""iCluster: per-user ranked cluster affinity (Section IV-D, Eq. 9).
+
+After smoothing, CFSF computes for every user the similarity to every
+user cluster and stores the clusters *sorted descending* — the user's
+"iCluster".  The online phase walks this ranking to build the candidate
+set from which the top-K like-minded users are drawn, instead of
+scanning the whole population.
+
+Eq. 9 correlates the user's mean-centred ratings with the cluster's
+item deviations ``Δr_{C,i}`` over the items both have rated::
+
+    sim(u, C) = Σ_i Δr_{C,i} (r_{u,i} − r̄_u)
+                / ( sqrt(Σ_i Δr_{C,i}²) · sqrt(Σ_i (r_{u,i} − r̄_u)²) )
+
+with all sums over ``i ∈ I{u} ∧ I{C}``.  Note this is a correlation of
+*deviations* — a user matches a cluster when they deviate from their
+personal mean on the same items in the same direction, which is exactly
+the style-free notion of shared taste the smoothing stage is built on.
+
+The full ``(P, L)`` affinity matrix is three Gram products.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.smoothing import SmoothedRatings
+
+__all__ = ["IClusterIndex", "build_icluster", "user_cluster_affinity"]
+
+
+def user_cluster_affinity(
+    values: np.ndarray,
+    mask: np.ndarray,
+    user_means: np.ndarray,
+    deviations: np.ndarray,
+    deviation_counts: np.ndarray,
+) -> np.ndarray:
+    """Eq. 9 for a block of users against all clusters.
+
+    Parameters
+    ----------
+    values, mask:
+        ``(n, Q)`` user ratings and rated-mask (training users or
+        active users' given profiles alike).
+    user_means:
+        ``(n,)`` per-user observed means (``r̄_u``).
+    deviations, deviation_counts:
+        ``(L, Q)`` cluster deviations and backing rater counts from
+        :func:`repro.core.smoothing.cluster_deviations`.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n, L)`` affinities in ``[-1, 1]``; 0 where the user and the
+        cluster share no rated item or either side is constant.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    mask = np.asarray(mask, dtype=bool)
+    dev_u = (values - np.asarray(user_means, dtype=np.float64)[:, None]) * mask  # (n, Q)
+    cmask = (np.asarray(deviation_counts) > 0).astype(np.float64)  # (L, Q)
+    D = np.asarray(deviations, dtype=np.float64) * cmask
+
+    num = dev_u @ D.T                                  # (n, L)
+    den1 = mask.astype(np.float64) @ (D * D).T          # Σ Δr² over user's items
+    den2 = (dev_u * dev_u) @ cmask.T                    # Σ dev² over cluster's items
+    denom = np.sqrt(den1 * den2)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        sim = np.where(denom > 0.0, num / np.where(denom > 0.0, denom, 1.0), 0.0)
+    np.clip(sim, -1.0, 1.0, out=sim)
+    return sim
+
+
+@dataclass(frozen=True)
+class IClusterIndex:
+    """Per-user descending cluster ranking plus supporting arrays.
+
+    Attributes
+    ----------
+    affinity:
+        ``(P, L)`` Eq. 9 affinities for the training users.
+    ranking:
+        ``(P, L)`` cluster indices, each row sorted by descending
+        affinity — the paper's per-user iCluster list (e.g.
+        ``{C0, C1, C7, ...}`` in Section IV-D).
+    cluster_members:
+        Tuple of ``L`` index arrays; ``cluster_members[c]`` lists the
+        training users in cluster *c*, so the online candidate walk is
+        an array concatenation instead of a scan.
+    """
+
+    affinity: np.ndarray = field(repr=False)
+    ranking: np.ndarray = field(repr=False)
+    cluster_members: tuple[np.ndarray, ...] = field(repr=False)
+
+    @property
+    def n_users(self) -> int:
+        """Number of indexed (training) users."""
+        return self.affinity.shape[0]
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of clusters ``L``."""
+        return self.affinity.shape[1]
+
+    def candidates_for_ranking(
+        self, ranking_row: np.ndarray, pool_size: int, *, max_clusters: int | None = None
+    ) -> np.ndarray:
+        """Walk a cluster ranking, concatenating members until
+        *pool_size* users are collected.
+
+        This is Section IV-E.2's candidate-set construction: "CFSF
+        selects users from clusters in iCluster one by one".
+
+        Parameters
+        ----------
+        ranking_row:
+            ``(L,)`` cluster indices in descending affinity order
+            (typically a row of :attr:`ranking`, or a fresh ranking
+            computed for an active user).
+        pool_size:
+            Stop once at least this many candidates are collected (the
+            last cluster is included whole; the caller trims).
+        max_clusters:
+            Visit at most this many clusters regardless of pool fill.
+        """
+        if pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+        limit = len(ranking_row) if max_clusters is None else min(max_clusters, len(ranking_row))
+        chunks: list[np.ndarray] = []
+        total = 0
+        for c in ranking_row[:limit]:
+            members = self.cluster_members[int(c)]
+            if members.size == 0:
+                continue
+            chunks.append(members)
+            total += members.size
+            if total >= pool_size:
+                break
+        if not chunks:
+            return np.empty(0, dtype=np.intp)
+        return np.concatenate(chunks)
+
+
+def build_icluster(smoothed: SmoothedRatings, train_mask: np.ndarray, train_values: np.ndarray) -> IClusterIndex:
+    """Build the iCluster index for the training population.
+
+    Parameters
+    ----------
+    smoothed:
+        Output of :func:`repro.core.smoothing.smooth_ratings` (supplies
+        the deviations, user means and labels).
+    train_mask, train_values:
+        The *original* training mask/values — Eq. 9 runs on observed
+        ratings, not smoothed ones.
+    """
+    affinity = user_cluster_affinity(
+        train_values,
+        train_mask,
+        smoothed.user_means,
+        smoothed.deviations,
+        smoothed.deviation_counts,
+    )
+    ranking = np.argsort(-affinity, axis=1, kind="stable").astype(np.intp)
+    L = smoothed.n_clusters
+    members = tuple(
+        np.nonzero(smoothed.labels == c)[0].astype(np.intp) for c in range(L)
+    )
+    return IClusterIndex(affinity=affinity, ranking=ranking, cluster_members=members)

@@ -1,0 +1,159 @@
+"""The local M x K item–user matrix (Section IV-E).
+
+The heart of CFSF's scalability: instead of predicting over the full
+``Q x P`` matrix, each request extracts a tiny matrix holding only the
+top-M similar items (columns of the GIS) and the top-K like-minded
+users, plus the weights needed by the fused predictors.
+
+:class:`LocalMatrix` is a plain container — building it is pure
+gathering (fancy indexing into the smoothed matrix), and the fusion
+stage (:mod:`repro.core.fusion`) consumes it without touching anything
+global.  This separation lets the tests assert the paper's complexity
+claim directly: once a ``LocalMatrix`` exists, prediction cost depends
+only on M and K.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.smoothing import SmoothedRatings
+
+__all__ = ["LocalMatrix", "build_local_matrix"]
+
+
+@dataclass(frozen=True)
+class LocalMatrix:
+    """Everything Eq. 12 needs, reduced to the local neighbourhood.
+
+    Attributes
+    ----------
+    item_indices:
+        ``(M',)`` the selected similar items (``M' <= M`` after the
+        positive-similarity filter).
+    item_sims:
+        ``(M',)`` their GIS similarities to the active item.
+    user_indices:
+        ``(K',)`` the selected like-minded users.
+    user_sims:
+        ``(K',)`` their Eq. 10 similarities to the active user.
+    ratings:
+        ``(K', M')`` smoothed ratings of the selected users on the
+        selected items.
+    weights:
+        ``(K', M')`` Eq. 11 weights for those cells (ε original,
+        1−ε smoothed).
+    active_item_ratings:
+        ``(K',)`` smoothed ratings of the selected users on the
+        *active* item, with matching ``active_item_weights`` — SUR'
+        reads these.
+    active_user_ratings:
+        ``(M',)`` the active user's (given-or-smoothed) ratings on the
+        selected items, with matching ``active_user_weights`` — SIR'
+        reads these.
+    user_means:
+        ``(K',)`` the selected users' observed means (SUR's offsets).
+    active_user_mean:
+        The active user's mean over their given ratings.
+    item_means:
+        ``(M',)`` training means of the selected items — the offsets
+        used by the bias-adjusted SIR'/SUIR' forms.
+    active_item_mean:
+        Training mean of the active item.
+    global_mean:
+        Training global mean (reference point for item deviations).
+    """
+
+    item_indices: np.ndarray
+    item_sims: np.ndarray
+    user_indices: np.ndarray
+    user_sims: np.ndarray
+    ratings: np.ndarray = field(repr=False)
+    weights: np.ndarray = field(repr=False)
+    active_item_ratings: np.ndarray = field(repr=False)
+    active_item_weights: np.ndarray = field(repr=False)
+    active_user_ratings: np.ndarray = field(repr=False)
+    active_user_weights: np.ndarray = field(repr=False)
+    user_means: np.ndarray = field(repr=False)
+    active_user_mean: float = 0.0
+    item_means: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+    active_item_mean: float = 0.0
+    global_mean: float = 0.0
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(K', M')`` — users by items, matching Algorithm 1's
+        "local M x K matrix" transposed to this library's user-major
+        convention."""
+        return self.ratings.shape
+
+
+def build_local_matrix(
+    *,
+    active_item: int,
+    item_indices: np.ndarray,
+    item_sims: np.ndarray,
+    user_indices: np.ndarray,
+    user_sims: np.ndarray,
+    smoothed: SmoothedRatings,
+    active_profile: np.ndarray,
+    active_observed: np.ndarray,
+    active_user_mean: float,
+    epsilon: float,
+    item_means: np.ndarray,
+    global_mean: float,
+) -> LocalMatrix:
+    """Gather the local matrix for one (active user, active item) pair.
+
+    Parameters
+    ----------
+    active_item:
+        The item being predicted (used for the SUR' column).
+    item_indices, item_sims:
+        Top-M selection from :meth:`repro.core.gis.GlobalItemSimilarity.top_m`.
+    user_indices, user_sims:
+        Top-K selection from :func:`repro.core.selection.select_top_k_users`.
+    smoothed:
+        Offline smoothing output for the training population.
+    active_profile:
+        ``(Q,)`` the active user's dense profile: given ratings where
+        revealed, cluster-smoothed estimates elsewhere (the model
+        folds active users into a cluster exactly as it smooths
+        training users).
+    active_observed:
+        ``(Q,)`` provenance for ``active_profile``.
+    active_user_mean:
+        Mean of the active user's given ratings.
+    epsilon:
+        Eq. 11's ε.
+    item_means:
+        ``(Q,)`` per-item training means.
+    global_mean:
+        Training global mean.
+    """
+    w_user = np.where(
+        smoothed.observed_mask[np.ix_(user_indices, item_indices)], epsilon, 1.0 - epsilon
+    )
+    w_active_col = np.where(
+        smoothed.observed_mask[user_indices, active_item], epsilon, 1.0 - epsilon
+    )
+    w_active_row = np.where(active_observed[item_indices], epsilon, 1.0 - epsilon)
+    return LocalMatrix(
+        item_indices=item_indices,
+        item_sims=item_sims,
+        user_indices=user_indices,
+        user_sims=user_sims,
+        ratings=smoothed.values[np.ix_(user_indices, item_indices)],
+        weights=w_user,
+        active_item_ratings=smoothed.values[user_indices, active_item],
+        active_item_weights=w_active_col,
+        active_user_ratings=active_profile[item_indices],
+        active_user_weights=w_active_row,
+        user_means=smoothed.user_means[user_indices],
+        active_user_mean=float(active_user_mean),
+        item_means=np.asarray(item_means, dtype=np.float64)[item_indices],
+        active_item_mean=float(item_means[active_item]),
+        global_mean=float(global_mean),
+    )

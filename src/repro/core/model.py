@@ -1,0 +1,418 @@
+"""The CFSF recommender (Algorithm 1 of the paper).
+
+Offline phase (:meth:`CFSF.fit`):
+
+1. ``Creating GIS`` — global item–item PCC, thresholded, sorted
+   (:mod:`repro.core.gis`).
+2. ``Clustering users`` — K-means under PCC (:mod:`repro.core.clustering`).
+3. ``Smoothing user ratings`` within each cluster
+   (:mod:`repro.core.smoothing`) and building the per-user iCluster
+   ranking (:mod:`repro.core.icluster`).
+
+Online phase (:meth:`CFSF.predict_many`), per active user:
+
+4. Fold the active user in: rank clusters by Eq. 9 affinity against
+   the user's given profile, assign the best cluster, and densify the
+   profile with that cluster's smoothing (the paper "inserts a record
+   in the item-user matrix" for each active user).
+5. Build the candidate set by walking the iCluster ranking and select
+   the top-K like-minded users with the ε-weighted PCC of Eq. 10.
+6. For each requested item, pick the top-M similar items from the GIS,
+   extract the local matrix, and fuse SIR'/SUR'/SUIR' (Eqs. 12–14).
+
+Two equivalent online implementations exist:
+
+* :meth:`CFSF.predict_one_detailed` — the literal per-request path via
+  :class:`~repro.core.local_matrix.LocalMatrix` and
+  :func:`~repro.core.fusion.fuse`; transparent, introspectable, used by
+  tests and ablations.
+* :meth:`CFSF.predict_many` — a batched path that vectorises all of a
+  user's requested items at once.  The test suite asserts the two agree
+  to float precision; the batched path is what the scalability
+  experiments (Fig. 5) time.
+
+Per-active-user intermediate results (cluster assignment, densified
+profile, top-K selection) are LRU-cached across calls, reproducing the
+paper's "caching intermediate results" optimisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.baselines.base import Recommender
+from repro.core.config import CFSFConfig
+from repro.core.clustering import UserClusters, cluster_users
+from repro.core.fusion import FusedPrediction, fuse, fusion_weights, pair_similarity
+from repro.core.gis import GlobalItemSimilarity, build_gis
+from repro.core.icluster import IClusterIndex, build_icluster, user_cluster_affinity
+from repro.core.local_matrix import LocalMatrix, build_local_matrix
+from repro.core.selection import TopKUsers, select_top_k_users
+from repro.core.smoothing import SmoothedRatings, smooth_ratings
+from repro.data.matrix import RatingMatrix
+from repro.utils.cache import LRUCache
+
+__all__ = ["CFSF", "ActiveUserState"]
+
+
+@dataclass(frozen=True)
+class ActiveUserState:
+    """Cached per-active-user online artefacts (steps 4–5)."""
+
+    profile: np.ndarray          # (Q,) dense given-or-smoothed ratings
+    observed: np.ndarray         # (Q,) True where given
+    mean: float                  # mean of given ratings
+    cluster_ranking: np.ndarray  # (L,) clusters by descending affinity
+    top_k: TopKUsers             # selected like-minded users
+
+
+class CFSF(Recommender):
+    """Collaborative Filtering with Smoothing and Fusing.
+
+    Parameters
+    ----------
+    config:
+        A :class:`~repro.core.config.CFSFConfig`; keyword overrides are
+        applied on top, so ``CFSF(top_m_items=50)`` works directly.
+
+    Examples
+    --------
+    >>> from repro.data import make_movielens_like, make_split
+    >>> split = make_split(make_movielens_like(seed=0).ratings,
+    ...                    n_train_users=300, given_n=10)
+    >>> model = CFSF().fit(split.train)
+    >>> users, items, truth = split.targets_arrays()
+    >>> preds = model.predict_many(split.given, users[:5], items[:5])
+    >>> preds.shape
+    (5,)
+    """
+
+    def __init__(self, config: CFSFConfig | None = None, **overrides: Any) -> None:
+        cfg = config or CFSFConfig()
+        if overrides:
+            cfg = cfg.with_(**overrides)
+        self.config = cfg
+        self.gis: GlobalItemSimilarity | None = None
+        self.clusters: UserClusters | None = None
+        self.smoothed: SmoothedRatings | None = None
+        self.icluster: IClusterIndex | None = None
+        self._cache = LRUCache(maxsize=cfg.cache_size)
+
+    @property
+    def name(self) -> str:
+        return "CFSF"
+
+    # ------------------------------------------------------------------
+    # Offline phase
+    # ------------------------------------------------------------------
+    def fit(self, train: RatingMatrix) -> "CFSF":
+        """Run the offline phase (GIS, clustering, smoothing, iCluster)."""
+        super().fit(train)
+        cfg = self.config
+        self.gis = build_gis(
+            train,
+            threshold=cfg.gis_threshold,
+            centering=cfg.centering,
+            min_overlap=cfg.min_overlap,
+        )
+        self.clusters = cluster_users(
+            train,
+            cfg.n_clusters,
+            seed=cfg.kmeans_seed,
+            max_iter=cfg.kmeans_max_iter,
+            centering=cfg.centering,
+            min_overlap=cfg.min_overlap,
+        )
+        self.smoothed = smooth_ratings(
+            train,
+            self.clusters.labels,
+            self.clusters.n_clusters,
+            shrinkage=cfg.smoothing_shrinkage,
+        )
+        self.icluster = build_icluster(self.smoothed, train.mask, train.values)
+        self._item_means = train.item_means()
+        self._global_mean = train.global_mean()
+        self._cache.clear()
+        return self
+
+    def _require_online(self) -> tuple[RatingMatrix, GlobalItemSimilarity, SmoothedRatings, IClusterIndex]:
+        train = self._require_fitted()
+        assert self.gis is not None and self.smoothed is not None and self.icluster is not None
+        return train, self.gis, self.smoothed, self.icluster
+
+    # ------------------------------------------------------------------
+    # Online phase: per-user state (steps 4-5)
+    # ------------------------------------------------------------------
+    def _given_fingerprint(self, given: RatingMatrix) -> int:
+        """Cheap identity for a given-matrix, for the cross-call cache."""
+        return hash(given)
+
+    def active_user_state(self, given: RatingMatrix, user: int) -> ActiveUserState:
+        """Fold one active user in and select their top-K users (cached)."""
+        key = (self._given_fingerprint(given), int(user))
+        state = self._cache.get(key)
+        if state is not None:
+            return state
+        state = self._compute_active_state(given, user)
+        self._cache.put(key, state)
+        return state
+
+    def _compute_active_state(self, given: RatingMatrix, user: int) -> ActiveUserState:
+        train, _gis, smoothed, icluster = self._require_online()
+        cfg = self.config
+        items_idx, ratings = given.user_profile(user)
+        mean = float(ratings.mean()) if ratings.size else train.global_mean()
+
+        row_vals = given.values[user : user + 1]
+        row_mask = given.mask[user : user + 1]
+        affinity = user_cluster_affinity(
+            row_vals,
+            row_mask,
+            np.array([mean]),
+            smoothed.deviations,
+            smoothed.deviation_counts,
+        )[0]
+        ranking = np.argsort(-affinity, kind="stable").astype(np.intp)
+
+        # Smooth the active profile from the top clusters.  With one
+        # cluster this is exactly the Eq. 7 treatment a training user
+        # gets; blending several (affinity-weighted) hedges the noisy
+        # cluster pick a Given5 profile produces.
+        n_soft = min(cfg.active_smoothing_clusters, ranking.size) or 1
+        chosen = ranking[:n_soft]
+        weights = np.maximum(affinity[chosen], 0.0)
+        if weights.sum() <= 0.0:
+            weights = np.ones(chosen.size)
+        weights = weights / weights.sum()
+        smoothed_row = mean + weights @ smoothed.deviations[chosen]
+        lo, hi = train.rating_scale
+        np.clip(smoothed_row, lo, hi, out=smoothed_row)
+        profile = np.where(given.mask[user], given.values[user], smoothed_row)
+
+        candidates = icluster.candidates_for_ranking(
+            ranking,
+            cfg.effective_candidate_pool(),
+            max_clusters=cfg.candidate_clusters,
+        )
+        if candidates.size == 0:
+            candidates = np.arange(train.n_users, dtype=np.intp)
+        active_dev = ratings - mean
+        top_k = select_top_k_users(
+            items_idx,
+            active_dev,
+            candidates,
+            smoothed,
+            k=cfg.top_k_users,
+            epsilon=cfg.epsilon,
+        )
+        return ActiveUserState(
+            profile=profile,
+            observed=given.mask[user].copy(),
+            mean=mean,
+            cluster_ranking=ranking,
+            top_k=top_k,
+        )
+
+    # ------------------------------------------------------------------
+    # Online phase: literal single-request path (step 6)
+    # ------------------------------------------------------------------
+    def build_local(self, given: RatingMatrix, user: int, item: int) -> LocalMatrix:
+        """Construct the local M x K matrix for one request."""
+        train, gis, smoothed, _ = self._require_online()
+        if not 0 <= item < train.n_items:
+            raise ValueError(f"item {item} out of range [0, {train.n_items})")
+        state = self.active_user_state(given, user)
+        item_idx, item_sims = gis.top_m(item, self.config.top_m_items)
+        return build_local_matrix(
+            active_item=item,
+            item_indices=item_idx,
+            item_sims=item_sims,
+            user_indices=state.top_k.users,
+            user_sims=state.top_k.similarities,
+            smoothed=smoothed,
+            active_profile=state.profile,
+            active_observed=state.observed,
+            active_user_mean=state.mean,
+            epsilon=self.config.epsilon,
+            item_means=self._item_means,
+            global_mean=self._global_mean,
+        )
+
+    def predict_one_detailed(
+        self, given: RatingMatrix, user: int, item: int
+    ) -> FusedPrediction:
+        """One request through the literal LocalMatrix + fuse path."""
+        local = self.build_local(given, user, item)
+        return fuse(
+            local,
+            lam=self.config.lam,
+            delta=self.config.delta,
+            adjust_biases=self.config.adjust_biases,
+        )
+
+    # ------------------------------------------------------------------
+    # Online phase: batched path
+    # ------------------------------------------------------------------
+    def predict_many(
+        self,
+        given: RatingMatrix,
+        users: np.ndarray | Sequence[int],
+        items: np.ndarray | Sequence[int],
+    ) -> np.ndarray:
+        users, items = self._check_request(given, users, items)
+        if users.size == 0:
+            return np.empty(0, dtype=np.float64)
+        train, gis, smoothed, _ = self._require_online()
+        cfg = self.config
+        w_sir, w_sur, w_suir = fusion_weights(cfg.lam, cfg.delta)
+        M = cfg.top_m_items
+        out = np.empty(users.shape, dtype=np.float64)
+
+        order = np.argsort(users, kind="stable")
+        boundaries = np.nonzero(np.diff(users[order]))[0] + 1
+        for block in np.split(np.arange(users.size)[order], boundaries):
+            u = int(users[block[0]])
+            q_items = items[block]
+            state = self.active_user_state(given, u)
+            out[block] = self._fuse_batch(
+                state, q_items, gis, smoothed, M, w_sir, w_sur, w_suir, cfg.epsilon
+            )
+        return self._clip(out)
+
+    def _fuse_batch(
+        self,
+        state: ActiveUserState,
+        q_items: np.ndarray,
+        gis: GlobalItemSimilarity,
+        smoothed: SmoothedRatings,
+        M: int,
+        w_sir: float,
+        w_sur: float,
+        w_suir: float,
+        epsilon: float,
+    ) -> np.ndarray:
+        """Vectorised Eqs. 12–14 for one user's batch of items.
+
+        Semantics match :func:`repro.core.fusion.fuse` exactly (the
+        positive-similarity filter of ``top_m`` becomes a zero weight
+        here, which is arithmetically identical).
+        """
+        nq = q_items.size
+        mb = state.mean
+        K_users = state.top_k.users
+        s_u = np.maximum(state.top_k.similarities, 0.0)
+
+        # Top-M neighbourhoods for all queried items at once: (nq, M).
+        nbr = gis.neighbours[q_items, : min(M, gis.neighbours.shape[1])]
+        s_i = gis.sim[q_items[:, None], nbr]
+        np.maximum(s_i, 0.0, out=s_i)
+
+        adjust = self.config.adjust_biases
+        imeans = self._item_means
+        gmean = self._global_mean
+
+        # ---- SIR' ------------------------------------------------------
+        w_row = np.where(state.observed[nbr], epsilon, 1.0 - epsilon)
+        sir_w = w_row * s_i
+        sir_den = sir_w.sum(axis=1)
+        if adjust:
+            sir_num = (sir_w * (state.profile[nbr] - imeans[nbr])).sum(axis=1)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                sir = np.where(
+                    sir_den > 0.0,
+                    imeans[q_items] + sir_num / np.where(sir_den > 0.0, sir_den, 1.0),
+                    mb,
+                )
+        else:
+            sir_num = (sir_w * state.profile[nbr]).sum(axis=1)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                sir = np.where(
+                    sir_den > 0.0, sir_num / np.where(sir_den > 0.0, sir_den, 1.0), mb
+                )
+
+        # ---- SUR' ------------------------------------------------------
+        if K_users.size:
+            r_col = smoothed.values[np.ix_(K_users, q_items)]           # (K, nq)
+            obs_col = smoothed.observed_mask[np.ix_(K_users, q_items)]
+            w_col = np.where(obs_col, epsilon, 1.0 - epsilon)
+            sur_w = w_col * s_u[:, None]
+            sur_den = sur_w.sum(axis=0)
+            offsets = r_col - smoothed.user_means[K_users][:, None]
+            sur_num = (sur_w * offsets).sum(axis=0)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                sur = np.where(
+                    sur_den > 0.0, mb + sur_num / np.where(sur_den > 0.0, sur_den, 1.0), mb
+                )
+        else:
+            sur = np.full(nq, mb)
+
+        # ---- SUIR' -----------------------------------------------------
+        if K_users.size:
+            # pair[q, k, m] = Eq. 13 on (s_i[q, m], s_u[k])
+            si = s_i[:, None, :]                      # (nq, 1, M)
+            su = s_u[None, :, None]                   # (1, K, 1)
+            denom = np.sqrt(si * si + su * su)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                pair = np.where(denom > 0.0, si * su / np.where(denom > 0.0, denom, 1.0), 0.0)
+            cells = smoothed.values[K_users[:, None, None], nbr[None, :, :]]        # (K, nq, M)
+            obs = smoothed.observed_mask[K_users[:, None, None], nbr[None, :, :]]
+            w_cells = np.where(obs, epsilon, 1.0 - epsilon)
+            # Align to (nq, K, M) for the reduction.
+            w_pair = pair * np.transpose(w_cells, (1, 0, 2))
+            suir_den = w_pair.sum(axis=(1, 2))
+            if adjust:
+                dev = (
+                    np.transpose(cells, (1, 0, 2))
+                    - smoothed.user_means[K_users][None, :, None]
+                    - (imeans[nbr][:, None, :] - gmean)
+                )
+                suir_num = (w_pair * dev).sum(axis=(1, 2))
+                anchor = mb + (imeans[q_items] - gmean)
+                with np.errstate(invalid="ignore", divide="ignore"):
+                    suir = np.where(
+                        suir_den > 0.0,
+                        anchor + suir_num / np.where(suir_den > 0.0, suir_den, 1.0),
+                        mb,
+                    )
+            else:
+                suir_num = (w_pair * np.transpose(cells, (1, 0, 2))).sum(axis=(1, 2))
+                with np.errstate(invalid="ignore", divide="ignore"):
+                    suir = np.where(
+                        suir_den > 0.0, suir_num / np.where(suir_den > 0.0, suir_den, 1.0), mb
+                    )
+        else:
+            suir = np.full(nq, mb)
+
+        return w_sir * sir + w_sur * sur + w_suir * suir
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def offline_summary(self) -> dict[str, Any]:
+        """Diagnostics of the fitted offline state (for reports/tests)."""
+        train, gis, smoothed, _ = self._require_online()
+        assert self.clusters is not None
+        return {
+            "n_users": train.n_users,
+            "n_items": train.n_items,
+            "gis_threshold": gis.threshold,
+            "gis_sparsity": gis.sparsity(),
+            "n_clusters": self.clusters.n_clusters,
+            "kmeans_iterations": self.clusters.n_iter,
+            "kmeans_converged": self.clusters.converged,
+            "cluster_sizes": self.clusters.sizes().tolist(),
+            "smoothed_fraction": smoothed.smoothed_fraction(),
+            "cache_size": self._cache.maxsize,
+        }
+
+    def cache_stats(self) -> dict[str, float]:
+        """Hit/miss counters of the online intermediate-result cache."""
+        return {
+            "hits": self._cache.hits,
+            "misses": self._cache.misses,
+            "hit_rate": self._cache.hit_rate,
+            "entries": len(self._cache),
+        }

@@ -1,0 +1,153 @@
+"""Saving and loading fitted CFSF models.
+
+The offline phase is the expensive part of CFSF by design; a serving
+deployment fits once in the backend and ships the artefacts to request
+handlers.  This module serialises the entire fitted state — the
+training matrix, the GIS (similarities + sorted neighbour lists), the
+clustering, the smoothing output, and the iCluster index — into a
+single compressed ``.npz`` alongside the JSON-encoded configuration,
+and restores a bit-identical model.
+
+The format is plain NumPy: no pickle of code objects, so snapshots are
+loadable across library versions as long as the array schema (listed
+in :data:`_ARRAY_FIELDS`) is intact, and safe to share (nothing
+executes on load).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+
+import numpy as np
+
+from repro.core.clustering import UserClusters
+from repro.core.config import CFSFConfig
+from repro.core.gis import GlobalItemSimilarity
+from repro.core.icluster import IClusterIndex
+from repro.core.model import CFSF
+from repro.core.smoothing import SmoothedRatings
+from repro.data.matrix import RatingMatrix
+from repro.utils.cache import LRUCache
+
+__all__ = ["save_model", "load_model"]
+
+#: Schema version written into every snapshot.
+FORMAT_VERSION = 1
+
+_ARRAY_FIELDS = (
+    "train_values",
+    "train_mask",
+    "gis_sim",
+    "gis_neighbours",
+    "cluster_labels",
+    "cluster_centroids",
+    "cluster_similarities",
+    "smoothed_values",
+    "smoothed_observed",
+    "smoothed_deviations",
+    "smoothed_counts",
+    "smoothed_user_means",
+    "icluster_affinity",
+    "icluster_ranking",
+)
+
+
+def save_model(model: CFSF, path: str) -> None:
+    """Serialise a fitted CFSF to ``path`` (``.npz``, compressed).
+
+    Raises
+    ------
+    ValueError
+        If the model has not been fitted.
+    """
+    train = model._train
+    if train is None or model.gis is None or model.smoothed is None:
+        raise ValueError("cannot save an unfitted CFSF model")
+    assert model.clusters is not None and model.icluster is not None
+
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "config": dataclasses.asdict(model.config),
+        "rating_scale": list(train.rating_scale),
+        "gis_threshold": model.gis.threshold,
+        "gis_centering": model.gis.centering,
+        "kmeans_n_iter": model.clusters.n_iter,
+        "kmeans_converged": model.clusters.converged,
+    }
+    arrays = {
+        "train_values": train.values,
+        "train_mask": train.mask,
+        "gis_sim": model.gis.sim,
+        "gis_neighbours": model.gis.neighbours,
+        "cluster_labels": model.clusters.labels,
+        "cluster_centroids": model.clusters.centroids,
+        "cluster_similarities": model.clusters.similarities,
+        "smoothed_values": model.smoothed.values,
+        "smoothed_observed": model.smoothed.observed_mask,
+        "smoothed_deviations": model.smoothed.deviations,
+        "smoothed_counts": model.smoothed.deviation_counts,
+        "smoothed_user_means": model.smoothed.user_means,
+        "icluster_affinity": model.icluster.affinity,
+        "icluster_ranking": model.icluster.ranking,
+    }
+    tmp = f"{path}.tmp"
+    np.savez_compressed(tmp, meta=json.dumps(meta), **arrays)
+    # numpy appends .npz to a name without it.
+    produced = tmp if os.path.exists(tmp) else f"{tmp}.npz"
+    os.replace(produced, path)
+
+
+def load_model(path: str) -> CFSF:
+    """Restore a fitted CFSF from a :func:`save_model` snapshot."""
+    with np.load(path, allow_pickle=False) as archive:
+        meta = json.loads(str(archive["meta"]))
+        if meta.get("format_version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported snapshot version {meta.get('format_version')!r}"
+            )
+        missing = [f for f in _ARRAY_FIELDS if f not in archive]
+        if missing:
+            raise ValueError(f"snapshot is missing arrays: {missing}")
+        data = {f: archive[f] for f in _ARRAY_FIELDS}
+
+    config = CFSFConfig(**meta["config"])
+    model = CFSF(config)
+    scale = tuple(meta["rating_scale"])
+    train = RatingMatrix(data["train_values"], data["train_mask"], rating_scale=scale)
+    model._train = train
+    model.gis = GlobalItemSimilarity(
+        sim=data["gis_sim"],
+        neighbours=data["gis_neighbours"].astype(np.intp),
+        threshold=float(meta["gis_threshold"]),
+        centering=meta["gis_centering"],
+    )
+    model.clusters = UserClusters(
+        labels=data["cluster_labels"].astype(np.intp),
+        centroids=data["cluster_centroids"],
+        similarities=data["cluster_similarities"],
+        n_iter=int(meta["kmeans_n_iter"]),
+        converged=bool(meta["kmeans_converged"]),
+    )
+    model.smoothed = SmoothedRatings(
+        values=data["smoothed_values"],
+        observed_mask=data["smoothed_observed"],
+        deviations=data["smoothed_deviations"],
+        deviation_counts=data["smoothed_counts"],
+        user_means=data["smoothed_user_means"],
+        labels=data["cluster_labels"].astype(np.intp),
+    )
+    members = tuple(
+        np.nonzero(model.clusters.labels == c)[0].astype(np.intp)
+        for c in range(model.clusters.n_clusters)
+    )
+    model.icluster = IClusterIndex(
+        affinity=data["icluster_affinity"],
+        ranking=data["icluster_ranking"].astype(np.intp),
+        cluster_members=members,
+    )
+    model._item_means = train.item_means()
+    model._global_mean = train.global_mean()
+    model._cache = LRUCache(maxsize=config.cache_size)
+    return model

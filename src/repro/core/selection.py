@@ -1,0 +1,138 @@
+"""Online selection of like-minded users (Section IV-E.2, Eqs. 10–11).
+
+Given an active user's (partial) profile, CFSF builds a *candidate set*
+by walking the user's iCluster ranking and then selects the top-K
+like-minded users from the candidates with an ε-weighted PCC that
+distinguishes original from smoothed ratings::
+
+    sim(u_a, u) = Σ_f w_{u,i} (r(u,i) − r̄_u)(r(u_a,i) − r̄_{u_a})
+                  / ( sqrt(Σ_f w²(r(u,i) − r̄_u)²) · sqrt(Σ_f (r(u_a,i) − r̄_{u_a})²) )
+
+    w_{u,i} = ε      if u originally rated i                (Eq. 11)
+            = 1 − ε  otherwise (the value is smoothed)
+
+where ``f`` ranges over the items the *active user* has rated.  The
+candidate ratings come from the dense smoothed matrix, so every
+candidate has a value for every one of the active user's items — the
+weighting, not availability, is what differentiates them.
+
+Because the candidate set is a few times K (not the whole population),
+this step costs O(|candidates| · GivenN) per request — the locality
+the paper's scalability argument rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.smoothing import SmoothedRatings
+from repro.utils.validation import check_fraction, check_positive_int
+
+__all__ = ["TopKUsers", "weighted_user_similarity", "select_top_k_users"]
+
+
+@dataclass(frozen=True)
+class TopKUsers:
+    """Selected like-minded users for one active profile.
+
+    Attributes
+    ----------
+    users:
+        ``(k,)`` training-user indices, descending similarity.
+    similarities:
+        ``(k,)`` their Eq. 10 similarities (all positive).
+    pool_size:
+        Number of candidates actually examined (for diagnostics /
+        the scalability benchmarks).
+    """
+
+    users: np.ndarray
+    similarities: np.ndarray
+    pool_size: int
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+
+def weighted_user_similarity(
+    active_items: np.ndarray,
+    active_dev: np.ndarray,
+    candidates: np.ndarray,
+    smoothed: SmoothedRatings,
+    epsilon: float,
+) -> np.ndarray:
+    """Eq. 10 between one active profile and a block of candidates.
+
+    Parameters
+    ----------
+    active_items:
+        ``(f,)`` item indices the active user has rated.
+    active_dev:
+        ``(f,)`` the active user's mean-centred ratings on those items.
+    candidates:
+        ``(n,)`` training-user indices to score.
+    smoothed:
+        The offline smoothing output (dense values + provenance).
+    epsilon:
+        Eq. 11's ε — weight of original ratings (smoothed get 1−ε).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n,)`` similarities in ``[-1, 1]`` (0 when degenerate).
+    """
+    check_fraction(epsilon, "epsilon")
+    if active_items.size == 0 or candidates.size == 0:
+        return np.zeros(candidates.shape, dtype=np.float64)
+    vals = smoothed.values[np.ix_(candidates, active_items)]          # (n, f)
+    observed = smoothed.observed_mask[np.ix_(candidates, active_items)]
+    w = np.where(observed, epsilon, 1.0 - epsilon)
+    dev = vals - smoothed.user_means[candidates][:, None]
+    num = (w * dev) @ active_dev
+    den1 = ((w * w) * (dev * dev)).sum(axis=1)
+    den2 = float(active_dev @ active_dev)
+    denom = np.sqrt(den1 * den2)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        sim = np.where(denom > 0.0, num / np.where(denom > 0.0, denom, 1.0), 0.0)
+    np.clip(sim, -1.0, 1.0, out=sim)
+    return sim
+
+
+def select_top_k_users(
+    active_items: np.ndarray,
+    active_dev: np.ndarray,
+    candidates: np.ndarray,
+    smoothed: SmoothedRatings,
+    *,
+    k: int,
+    epsilon: float,
+    min_sim: float = 0.0,
+) -> TopKUsers:
+    """Pick the top-K like-minded users from a candidate set.
+
+    Candidates with similarity ``<= min_sim`` are dropped (a negatively
+    correlated "like-minded user" would invert every contribution in
+    Eq. 12's SUR'/SUIR').  If every candidate is dropped the selection
+    falls back to the ``k`` highest-similarity candidates regardless of
+    sign with their similarities floored at a tiny positive value —
+    prediction quality degrades but stays defined, matching the
+    paper's expectation that a request always gets an answer.
+    """
+    check_positive_int(k, "k")
+    sims = weighted_user_similarity(active_items, active_dev, candidates, smoothed, epsilon)
+    order = np.argsort(-sims, kind="stable")
+    ranked = candidates[order]
+    ranked_sims = sims[order]
+    keep = ranked_sims > min_sim
+    if keep.any():
+        ranked, ranked_sims = ranked[keep], ranked_sims[keep]
+    else:
+        ranked_sims = np.full_like(ranked_sims, 1e-6)
+    k_eff = min(k, ranked.size)
+    return TopKUsers(
+        users=ranked[:k_eff].astype(np.intp),
+        similarities=ranked_sims[:k_eff].astype(np.float64),
+        pool_size=int(candidates.size),
+    )

@@ -1,0 +1,183 @@
+"""Cluster smoothing of unrated data (Section IV-D, Eqs. 7–8).
+
+Users in the same cluster share tastes but differ in rating *style*;
+smoothing fills each user's unrated entries with the user's own mean
+shifted by the cluster's consensus deviation for the item::
+
+    r(u, i) = r(u, i)                         if u rated i     (Eq. 7)
+            = r̄_u + Δr_{C(u), i}             otherwise
+
+    Δr_{C, i} = Σ_{u ∈ C, u rated i} (r(u, i) − r̄_u) / |C_i|   (Eq. 8)
+
+The result is a *dense* matrix: every (user, item) cell holds either an
+original rating or a smoothed estimate, plus a provenance mask so that
+downstream stages (Eq. 10's ε-weighting, Eq. 12's fused predictors) can
+weight the two kinds differently.
+
+When no member of the cluster rated the item, ``Δr`` is 0 and the
+smoothed value degenerates to the user's mean — the same convention
+SCBPCC (Xue et al. 2005) uses.
+
+The whole computation is two one-hot matrix products; no loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.matrix import RatingMatrix
+from repro.utils.validation import check_positive_int
+
+__all__ = ["SmoothedRatings", "smooth_ratings", "cluster_deviations"]
+
+
+@dataclass(frozen=True)
+class SmoothedRatings:
+    """Output of :func:`smooth_ratings`.
+
+    Attributes
+    ----------
+    values:
+        ``(P, Q)`` dense matrix: original ratings where rated, smoothed
+        estimates elsewhere, clipped to the rating scale.
+    observed_mask:
+        ``(P, Q)`` provenance: ``True`` where the value is an original
+        rating (drives the ε-weighting of Eq. 11).
+    deviations:
+        ``(L, Q)`` per-cluster item deviations ``Δr_{C,i}`` (Eq. 8),
+        reused by the iCluster affinity of Eq. 9.
+    deviation_counts:
+        ``(L, Q)`` number of raters behind each deviation (``|C_i|``);
+        0 marks deviations that defaulted to 0.
+    user_means:
+        ``(P,)`` the ``r̄_u`` used for filling.
+    labels:
+        ``(P,)`` cluster assignment used.
+    """
+
+    values: np.ndarray = field(repr=False)
+    observed_mask: np.ndarray = field(repr=False)
+    deviations: np.ndarray = field(repr=False)
+    deviation_counts: np.ndarray = field(repr=False)
+    user_means: np.ndarray = field(repr=False)
+    labels: np.ndarray = field(repr=False)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(P, Q)``."""
+        return self.values.shape
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of clusters ``L``."""
+        return self.deviations.shape[0]
+
+    def smoothed_fraction(self) -> float:
+        """Fraction of cells that hold smoothed (not original) values."""
+        return 1.0 - self.observed_mask.mean()
+
+    def weights(self, epsilon: float) -> np.ndarray:
+        """Eq. 11's per-cell weight matrix: ``ε`` where original, ``1−ε``
+        where smoothed."""
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError(f"epsilon must be in [0, 1], got {epsilon}")
+        return np.where(self.observed_mask, epsilon, 1.0 - epsilon)
+
+
+def cluster_deviations(
+    train: RatingMatrix,
+    labels: np.ndarray,
+    n_clusters: int,
+    *,
+    shrinkage: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Eq. 8: ``Δr_{C,i}`` and rater counts, for all clusters at once.
+
+    Parameters
+    ----------
+    shrinkage:
+        Empirical-Bayes shrinkage mass ``β``: the deviation is scaled
+        by ``n / (n + β)`` where ``n`` is the backing rater count.
+        Eq. 8 is the unshrunk ``β = 0``; a small positive β keeps a
+        deviation estimated from a single rater from being trusted as
+        much as one estimated from ten, which matters when clusters
+        are small (ML_100 with C=30 leaves ~3 users per cluster).
+
+    Returns
+    -------
+    (deviations, counts):
+        Both ``(L, Q)``; ``deviations`` is 0 where ``counts`` is 0.
+    """
+    if shrinkage < 0:
+        raise ValueError(f"shrinkage must be >= 0, got {shrinkage}")
+    check_positive_int(n_clusters, "n_clusters")
+    labels = np.asarray(labels, dtype=np.intp)
+    if labels.shape != (train.n_users,):
+        raise ValueError(
+            f"labels shape {labels.shape} does not match n_users={train.n_users}"
+        )
+    if labels.size and (labels.min() < 0 or labels.max() >= n_clusters):
+        raise ValueError("labels out of range for n_clusters")
+
+    user_means = train.user_means()
+    dev = (train.values - user_means[:, None]) * train.mask  # (P, Q)
+    onehot = np.zeros((n_clusters, train.n_users), dtype=np.float64)
+    onehot[labels, np.arange(train.n_users)] = 1.0
+    dev_sums = onehot @ dev
+    counts = onehot @ train.mask.astype(np.float64)
+    with np.errstate(invalid="ignore"):
+        deviations = np.where(counts > 0, dev_sums / np.maximum(counts, 1.0), 0.0)
+    if shrinkage > 0.0:
+        deviations = deviations * (counts / (counts + shrinkage))
+    return deviations, counts
+
+
+def smooth_ratings(
+    train: RatingMatrix,
+    labels: np.ndarray,
+    n_clusters: int,
+    *,
+    shrinkage: float = 0.0,
+) -> SmoothedRatings:
+    """Apply Eqs. 7–8 to produce the dense smoothed matrix.
+
+    Parameters
+    ----------
+    train:
+        Training matrix.
+    labels:
+        ``(P,)`` cluster assignment from
+        :func:`repro.core.clustering.cluster_users`.
+    n_clusters:
+        Total number of clusters ``L`` (labels may not cover all of
+        them if a cluster emptied; its deviations are all-zero).
+    shrinkage:
+        Deviation shrinkage β forwarded to :func:`cluster_deviations`.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.data import RatingMatrix
+    >>> rm = RatingMatrix(np.array([[5., 0.], [3., 4.]]))
+    >>> sm = smooth_ratings(rm, np.array([0, 0]), 1)
+    >>> bool(sm.observed_mask[0, 1])
+    False
+    >>> float(sm.values[0, 0])   # original rating preserved
+    5.0
+    """
+    deviations, counts = cluster_deviations(train, labels, n_clusters, shrinkage=shrinkage)
+    user_means = train.user_means()
+    smoothed = user_means[:, None] + deviations[np.asarray(labels, dtype=np.intp)]
+    lo, hi = train.rating_scale
+    np.clip(smoothed, lo, hi, out=smoothed)
+    values = np.where(train.mask, train.values, smoothed)
+    return SmoothedRatings(
+        values=values,
+        observed_mask=train.mask.copy(),
+        deviations=deviations,
+        deviation_counts=counts,
+        user_means=user_means,
+        labels=np.asarray(labels, dtype=np.intp).copy(),
+    )

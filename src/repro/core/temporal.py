@@ -1,0 +1,99 @@
+"""Temporal extension: time-decayed rating weights (Section VI).
+
+The paper's future work names "dates associated with the ratings" as an
+accuracy lever — user preferences drift, so older ratings should count
+less.  This module implements the standard exponential time decay as a
+*preprocessing* transform compatible with every recommender in the
+library: instead of changing each algorithm, it reweights the training
+matrix by shifting each rating toward the user's mean in proportion to
+its age::
+
+    r'(u, i) = r̄_u + decay(t) · (r(u, i) − r̄_u)
+    decay(t) = exp(−(t_now − t(u, i)) / half_life · ln 2)
+
+A fully decayed rating (age ≫ half-life) degenerates to the user's
+mean — it still marks *that* the user rated the item (so similarity
+overlaps are preserved) but no longer asserts a strong preference
+direction.  This is the rating-value analogue of the weighting
+Koren's "Collaborative Filtering with Temporal Dynamics" applies inside
+the model, chosen here because it composes with arbitrary downstream
+recommenders.
+
+``examples/temporal_dynamics.py`` shows it recovering accuracy on the
+drifted synthetic dataset of :func:`repro.data.synthetic.make_timestamped`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.matrix import RatingMatrix
+
+__all__ = ["decay_weights", "apply_time_decay"]
+
+
+def decay_weights(
+    timestamps: np.ndarray,
+    *,
+    now: float,
+    half_life: float,
+) -> np.ndarray:
+    """Exponential decay factors in ``(0, 1]`` for each timestamp.
+
+    Parameters
+    ----------
+    timestamps:
+        Rating times (any consistent unit).
+    now:
+        The reference "current" time; ratings in the future of *now*
+        are clamped to weight 1.0 rather than amplified.
+    half_life:
+        Age at which a rating's deviation weight halves.
+    """
+    if half_life <= 0:
+        raise ValueError(f"half_life must be > 0, got {half_life}")
+    age = np.maximum(now - np.asarray(timestamps, dtype=np.float64), 0.0)
+    return np.exp(-age / half_life * np.log(2.0))
+
+
+def apply_time_decay(
+    train: RatingMatrix,
+    timestamps: np.ndarray,
+    *,
+    now: float | None = None,
+    half_life: float = 0.5,
+) -> RatingMatrix:
+    """Reweight a training matrix by rating age.
+
+    Parameters
+    ----------
+    train:
+        The training matrix.
+    timestamps:
+        ``(P, Q)`` per-cell rating times (only cells where
+        ``train.mask`` holds are read).
+    now:
+        Reference time; defaults to the newest observed timestamp.
+    half_life:
+        Decay half-life in the timestamps' unit.
+
+    Returns
+    -------
+    RatingMatrix
+        Same mask, values shifted toward each user's mean according to
+        age.  Values stay within the rating scale (a convex blend of
+        an in-scale rating and an in-scale mean).
+    """
+    timestamps = np.asarray(timestamps, dtype=np.float64)
+    if timestamps.shape != train.shape:
+        raise ValueError(
+            f"timestamps shape {timestamps.shape} does not match ratings {train.shape}"
+        )
+    if now is None:
+        observed_times = timestamps[train.mask]
+        now = float(observed_times.max()) if observed_times.size else 0.0
+    w = decay_weights(timestamps, now=now, half_life=half_life)
+    user_means = train.user_means()
+    decayed = user_means[:, None] + w * (train.values - user_means[:, None])
+    values = np.where(train.mask, decayed, 0.0)
+    return RatingMatrix(values, train.mask.copy(), rating_scale=train.rating_scale)

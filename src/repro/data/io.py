@@ -1,0 +1,145 @@
+"""Saving and loading rating matrices.
+
+Two formats:
+
+* ``.npz`` (:func:`save_matrix` / :func:`load_matrix`) — compressed,
+  lossless, fast; the format the model snapshots use.  Includes the
+  rating scale and an optional per-cell timestamp array.
+* triplet CSV (:func:`save_triplets` / :func:`load_triplets`) —
+  ``user,item,rating[,timestamp]`` text, interoperable with every CF
+  toolkit and with the MovieLens loaders in
+  :mod:`repro.data.movielens`.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+
+import numpy as np
+
+from repro.data.matrix import RatingMatrix
+
+__all__ = ["save_matrix", "load_matrix", "save_triplets", "load_triplets"]
+
+#: Schema version for the .npz format.
+MATRIX_FORMAT_VERSION = 1
+
+
+def save_matrix(
+    matrix: RatingMatrix,
+    path: str,
+    *,
+    timestamps: np.ndarray | None = None,
+) -> None:
+    """Write a matrix (and optional timestamps) to a compressed .npz."""
+    if timestamps is not None and timestamps.shape != matrix.shape:
+        raise ValueError(
+            f"timestamps shape {timestamps.shape} != matrix shape {matrix.shape}"
+        )
+    meta = {
+        "format_version": MATRIX_FORMAT_VERSION,
+        "rating_scale": list(matrix.rating_scale),
+        "has_timestamps": timestamps is not None,
+    }
+    arrays = {"values": matrix.values, "mask": matrix.mask}
+    if timestamps is not None:
+        arrays["timestamps"] = np.asarray(timestamps, dtype=np.float64)
+    tmp = f"{path}.tmp"
+    np.savez_compressed(tmp, meta=json.dumps(meta), **arrays)
+    produced = tmp if os.path.exists(tmp) else f"{tmp}.npz"
+    os.replace(produced, path)
+
+
+def load_matrix(path: str) -> tuple[RatingMatrix, np.ndarray | None]:
+    """Read a matrix written by :func:`save_matrix`.
+
+    Returns ``(matrix, timestamps_or_None)``.
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        meta = json.loads(str(archive["meta"]))
+        if meta.get("format_version") != MATRIX_FORMAT_VERSION:
+            raise ValueError(f"unsupported matrix format {meta.get('format_version')!r}")
+        matrix = RatingMatrix(
+            archive["values"],
+            archive["mask"],
+            rating_scale=tuple(meta["rating_scale"]),
+        )
+        timestamps = archive["timestamps"].copy() if meta["has_timestamps"] else None
+    return matrix, timestamps
+
+
+def save_triplets(
+    matrix: RatingMatrix,
+    path: str,
+    *,
+    timestamps: np.ndarray | None = None,
+    header: bool = True,
+) -> int:
+    """Write observed ratings as ``user,item,rating[,timestamp]`` CSV.
+
+    Returns the number of rows written.
+    """
+    if timestamps is not None and timestamps.shape != matrix.shape:
+        raise ValueError(
+            f"timestamps shape {timestamps.shape} != matrix shape {matrix.shape}"
+        )
+    users, items = np.nonzero(matrix.mask)
+    values = matrix.values[users, items]
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        if header:
+            cols = ["user", "item", "rating"]
+            if timestamps is not None:
+                cols.append("timestamp")
+            writer.writerow(cols)
+        for idx in range(users.size):
+            row: list = [int(users[idx]), int(items[idx]), float(values[idx])]
+            if timestamps is not None:
+                row.append(float(timestamps[users[idx], items[idx]]))
+            writer.writerow(row)
+    return int(users.size)
+
+
+def load_triplets(
+    path: str,
+    *,
+    n_users: int | None = None,
+    n_items: int | None = None,
+    rating_scale: tuple[float, float] = (1.0, 5.0),
+) -> tuple[RatingMatrix, np.ndarray | None]:
+    """Read a CSV written by :func:`save_triplets` (header optional).
+
+    Returns ``(matrix, timestamps_or_None)``; timestamps come back as
+    a dense per-cell array (0.0 where unrated) when a fourth column is
+    present.
+    """
+    triplets: list[tuple[int, int, float]] = []
+    times: list[float] = []
+    has_times = False
+    with open(path, "r", encoding="utf-8") as fh:
+        reader = csv.reader(fh)
+        for lineno, row in enumerate(reader, 1):
+            if not row:
+                continue
+            if lineno == 1 and not row[0].strip().lstrip("-").isdigit():
+                has_times = len(row) > 3
+                continue  # header
+            if len(row) < 3:
+                raise ValueError(f"{path}:{lineno}: expected >=3 columns")
+            triplets.append((int(row[0]), int(row[1]), float(row[2])))
+            if len(row) > 3:
+                has_times = True
+                times.append(float(row[3]))
+            elif has_times:
+                raise ValueError(f"{path}:{lineno}: inconsistent timestamp column")
+    matrix = RatingMatrix.from_triplets(
+        triplets, n_users=n_users, n_items=n_items, rating_scale=rating_scale
+    )
+    if not has_times or not times:
+        return matrix, None
+    tstamps = np.zeros(matrix.shape, dtype=np.float64)
+    for (u, i, _), t in zip(triplets, times):
+        tstamps[u, i] = t
+    return matrix, tstamps

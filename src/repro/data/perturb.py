@@ -1,0 +1,154 @@
+"""Failure injection: controlled corruption of rating matrices.
+
+Robustness testing needs *designed* failure modes, not hopeful fuzz.
+These transforms model the ways real recommender data degrades, and
+the test suite uses them to check that every algorithm (a) stays
+finite and in-scale under each corruption and (b) degrades gracefully
+rather than collapsing:
+
+* :func:`drop_ratings` — increased sparsity (the paper's own axis).
+* :func:`add_noise_ratings` — label noise: observed ratings replaced
+  by uniform random values.
+* :func:`add_cold_items` / :func:`add_cold_users` — columns/rows with
+  zero ratings appended (catalogue growth, new-user signup).
+* :func:`shill_items` — a rating-injection ("shilling") attack: fake
+  users who all rate one target item with the maximum score and rate
+  popular items averagely for camouflage.
+
+Every transform is pure: it returns a new matrix and, where relevant,
+the ground-truth bookkeeping needed by assertions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.matrix import RatingMatrix
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_fraction, check_positive_int
+
+__all__ = [
+    "drop_ratings",
+    "add_noise_ratings",
+    "add_cold_items",
+    "add_cold_users",
+    "shill_items",
+]
+
+
+def drop_ratings(
+    matrix: RatingMatrix,
+    fraction: float,
+    *,
+    seed: int | np.random.Generator | None = 0,
+    keep_min_per_user: int = 1,
+) -> RatingMatrix:
+    """Remove a random *fraction* of observed ratings.
+
+    Each user keeps at least *keep_min_per_user* ratings so that no
+    row becomes empty (an empty profile is a separate failure mode,
+    covered by :func:`add_cold_users`).
+    """
+    check_fraction(fraction, "fraction")
+    rng = as_generator(seed)
+    values = matrix.values.copy()
+    mask = matrix.mask.copy()
+    for u in range(matrix.n_users):
+        rated = np.nonzero(mask[u])[0]
+        n_droppable = max(0, rated.size - keep_min_per_user)
+        n_drop = min(n_droppable, int(round(rated.size * fraction)))
+        if n_drop == 0:
+            continue
+        drop = rng.choice(rated, size=n_drop, replace=False)
+        mask[u, drop] = False
+        values[u, drop] = 0.0
+    return RatingMatrix(values, mask, rating_scale=matrix.rating_scale)
+
+
+def add_noise_ratings(
+    matrix: RatingMatrix,
+    fraction: float,
+    *,
+    seed: int | np.random.Generator | None = 0,
+) -> tuple[RatingMatrix, np.ndarray]:
+    """Replace a random *fraction* of observed ratings with uniform noise.
+
+    Returns ``(corrupted_matrix, corrupted_mask)`` where the second
+    element marks the poisoned cells (for assertions about what should
+    have been learned anyway).
+    """
+    check_fraction(fraction, "fraction")
+    rng = as_generator(seed)
+    lo, hi = matrix.rating_scale
+    users, items = np.nonzero(matrix.mask)
+    n_corrupt = int(round(users.size * fraction))
+    corrupted = np.zeros(matrix.shape, dtype=bool)
+    values = matrix.values.copy()
+    if n_corrupt:
+        pick = rng.choice(users.size, size=n_corrupt, replace=False)
+        cu, ci = users[pick], items[pick]
+        values[cu, ci] = rng.integers(int(lo), int(hi) + 1, size=n_corrupt)
+        corrupted[cu, ci] = True
+    return (
+        RatingMatrix(values, matrix.mask.copy(), rating_scale=matrix.rating_scale),
+        corrupted,
+    )
+
+
+def add_cold_items(matrix: RatingMatrix, n_items: int) -> RatingMatrix:
+    """Append *n_items* never-rated item columns (catalogue growth)."""
+    check_positive_int(n_items, "n_items")
+    values = np.hstack([matrix.values, np.zeros((matrix.n_users, n_items))])
+    mask = np.hstack([matrix.mask, np.zeros((matrix.n_users, n_items), dtype=bool)])
+    return RatingMatrix(values, mask, rating_scale=matrix.rating_scale)
+
+
+def add_cold_users(matrix: RatingMatrix, n_users: int) -> RatingMatrix:
+    """Append *n_users* empty user rows (signup without any rating)."""
+    check_positive_int(n_users, "n_users")
+    values = np.vstack([matrix.values, np.zeros((n_users, matrix.n_items))])
+    mask = np.vstack([matrix.mask, np.zeros((n_users, matrix.n_items), dtype=bool)])
+    return RatingMatrix(values, mask, rating_scale=matrix.rating_scale)
+
+
+def shill_items(
+    matrix: RatingMatrix,
+    target_item: int,
+    n_shills: int,
+    *,
+    camouflage_items: int = 10,
+    seed: int | np.random.Generator | None = 0,
+) -> RatingMatrix:
+    """Inject a push-attack: *n_shills* fake users max-rate one item.
+
+    Each shill rates ``target_item`` with the scale maximum and the
+    *camouflage_items* most-rated items with that item's rounded mean
+    (the classic "average attack" profile, hard to filter).
+
+    Returns the enlarged matrix; the shill rows are the last
+    ``n_shills`` users.
+    """
+    check_positive_int(n_shills, "n_shills")
+    if not 0 <= target_item < matrix.n_items:
+        raise ValueError(f"target_item {target_item} out of range")
+    rng = as_generator(seed)
+    lo, hi = matrix.rating_scale
+    popular = np.argsort(-matrix.item_counts(), kind="stable")[:camouflage_items]
+    popular = popular[popular != target_item]
+    item_means = matrix.item_means()
+
+    shill_values = np.zeros((n_shills, matrix.n_items))
+    shill_mask = np.zeros((n_shills, matrix.n_items), dtype=bool)
+    shill_values[:, target_item] = hi
+    shill_mask[:, target_item] = True
+    for i in popular:
+        base = np.clip(np.round(item_means[i]), lo, hi)
+        jitter = rng.integers(-1, 2, size=n_shills)
+        shill_values[:, i] = np.clip(base + jitter, lo, hi)
+        shill_mask[:, i] = True
+
+    return RatingMatrix(
+        np.vstack([matrix.values, shill_values]),
+        np.vstack([matrix.mask, shill_mask]),
+        rating_scale=matrix.rating_scale,
+    )

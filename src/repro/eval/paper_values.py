@@ -1,0 +1,119 @@
+"""The paper's published numbers, transcribed for side-by-side reports.
+
+EXPERIMENTS.md and the benchmark harness print measured values next to
+these.  Absolute agreement is not expected (the substrate is a
+calibrated generator, not the authors' MovieLens extract); orderings
+and trend shapes are the reproduction targets.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE2_MAE",
+    "TABLE3_MAE",
+    "CFSF_DEFAULTS",
+    "FIG5_MAX_RESPONSE_SECONDS",
+]
+
+#: Table II — MAE of CFSF vs the traditional memory-based approaches.
+#: Keyed by (training_set, method, given_label).
+TABLE2_MAE: dict[tuple[str, str, str], float] = {
+    ("ML_300", "CFSF", "Given5"): 0.743,
+    ("ML_300", "CFSF", "Given10"): 0.721,
+    ("ML_300", "CFSF", "Given20"): 0.705,
+    ("ML_300", "SUR", "Given5"): 0.838,
+    ("ML_300", "SUR", "Given10"): 0.814,
+    ("ML_300", "SUR", "Given20"): 0.802,
+    ("ML_300", "SIR", "Given5"): 0.870,
+    ("ML_300", "SIR", "Given10"): 0.838,
+    ("ML_300", "SIR", "Given20"): 0.813,
+    ("ML_200", "CFSF", "Given5"): 0.769,
+    ("ML_200", "CFSF", "Given10"): 0.734,
+    ("ML_200", "CFSF", "Given20"): 0.713,
+    ("ML_200", "SUR", "Given5"): 0.843,
+    ("ML_200", "SUR", "Given10"): 0.822,
+    ("ML_200", "SUR", "Given20"): 0.807,
+    ("ML_200", "SIR", "Given5"): 0.855,
+    ("ML_200", "SIR", "Given10"): 0.834,
+    ("ML_200", "SIR", "Given20"): 0.812,
+    ("ML_100", "CFSF", "Given5"): 0.781,
+    ("ML_100", "CFSF", "Given10"): 0.758,
+    ("ML_100", "CFSF", "Given20"): 0.746,
+    ("ML_100", "SUR", "Given5"): 0.876,
+    ("ML_100", "SUR", "Given10"): 0.847,
+    ("ML_100", "SUR", "Given20"): 0.811,
+    ("ML_100", "SIR", "Given5"): 0.890,
+    ("ML_100", "SIR", "Given10"): 0.801,
+    ("ML_100", "SIR", "Given20"): 0.824,
+}
+
+#: Table III — MAE of CFSF vs the state-of-the-art approaches.
+TABLE3_MAE: dict[tuple[str, str, str], float] = {
+    ("ML_300", "CFSF", "Given5"): 0.743,
+    ("ML_300", "CFSF", "Given10"): 0.721,
+    ("ML_300", "CFSF", "Given20"): 0.705,
+    ("ML_300", "AM", "Given5"): 0.820,
+    ("ML_300", "AM", "Given10"): 0.822,
+    ("ML_300", "AM", "Given20"): 0.796,
+    ("ML_300", "EMDP", "Given5"): 0.788,
+    ("ML_300", "EMDP", "Given10"): 0.754,
+    ("ML_300", "EMDP", "Given20"): 0.746,
+    ("ML_300", "SCBPCC", "Given5"): 0.822,
+    ("ML_300", "SCBPCC", "Given10"): 0.810,
+    ("ML_300", "SCBPCC", "Given20"): 0.778,
+    ("ML_300", "SF", "Given5"): 0.804,
+    ("ML_300", "SF", "Given10"): 0.761,
+    ("ML_300", "SF", "Given20"): 0.769,
+    ("ML_300", "PD", "Given5"): 0.827,
+    ("ML_300", "PD", "Given10"): 0.815,
+    ("ML_300", "PD", "Given20"): 0.789,
+    ("ML_200", "CFSF", "Given5"): 0.769,
+    ("ML_200", "CFSF", "Given10"): 0.734,
+    ("ML_200", "CFSF", "Given20"): 0.713,
+    ("ML_200", "AM", "Given5"): 0.849,
+    ("ML_200", "AM", "Given10"): 0.837,
+    ("ML_200", "AM", "Given20"): 0.815,
+    ("ML_200", "EMDP", "Given5"): 0.793,
+    ("ML_200", "EMDP", "Given10"): 0.760,
+    ("ML_200", "EMDP", "Given20"): 0.751,
+    ("ML_200", "SCBPCC", "Given5"): 0.831,
+    ("ML_200", "SCBPCC", "Given10"): 0.813,
+    ("ML_200", "SCBPCC", "Given20"): 0.784,
+    ("ML_200", "SF", "Given5"): 0.827,
+    ("ML_200", "SF", "Given10"): 0.773,
+    ("ML_200", "SF", "Given20"): 0.783,
+    ("ML_200", "PD", "Given5"): 0.836,
+    ("ML_200", "PD", "Given10"): 0.815,
+    ("ML_200", "PD", "Given20"): 0.792,
+    ("ML_100", "CFSF", "Given5"): 0.781,
+    ("ML_100", "CFSF", "Given10"): 0.758,
+    ("ML_100", "CFSF", "Given20"): 0.746,
+    ("ML_100", "AM", "Given5"): 0.963,
+    ("ML_100", "AM", "Given10"): 0.922,
+    ("ML_100", "AM", "Given20"): 0.887,
+    ("ML_100", "EMDP", "Given5"): 0.807,
+    ("ML_100", "EMDP", "Given10"): 0.769,
+    ("ML_100", "EMDP", "Given20"): 0.765,
+    ("ML_100", "SCBPCC", "Given5"): 0.848,
+    ("ML_100", "SCBPCC", "Given10"): 0.819,
+    ("ML_100", "SCBPCC", "Given20"): 0.789,
+    ("ML_100", "SF", "Given5"): 0.847,
+    ("ML_100", "SF", "Given10"): 0.774,
+    ("ML_100", "SF", "Given20"): 0.792,
+    ("ML_100", "PD", "Given5"): 0.849,
+    ("ML_100", "PD", "Given10"): 0.817,
+    ("ML_100", "PD", "Given20"): 0.808,
+}
+
+#: Section V-C.1's stated CFSF parameters for MovieLens.
+CFSF_DEFAULTS: dict[str, float] = {
+    "C": 30,
+    "lambda": 0.8,
+    "delta": 0.1,
+    "K": 25,
+    "M": 95,
+    "w": 0.35,
+}
+
+#: Section V-D: maximum online response time at ML_300, 100% testset.
+FIG5_MAX_RESPONSE_SECONDS: dict[str, float] = {"CFSF": 110.0, "SCBPCC": 260.0}

@@ -1,0 +1,30 @@
+"""Parallel substrate: multi-process prediction and offline tiling.
+
+Addresses the paper's Section VI future work ("how CFSF can improve
+its scalability in a parallel manner"):
+
+* :class:`~repro.parallel.executor.ParallelPredictor` shards the online
+  phase across a process pool (copy-on-write model inheritance, LPT
+  load balancing by active user).
+* :func:`~repro.parallel.offline.parallel_item_pcc` tiles the GIS
+  construction over workers communicating through POSIX shared memory.
+* :mod:`~repro.parallel.shared` and :mod:`~repro.parallel.partition`
+  are the reusable building blocks.
+"""
+
+from repro.parallel.executor import ParallelPredictor, recommended_workers
+from repro.parallel.offline import parallel_item_pcc
+from repro.parallel.partition import block_partition, cyclic_partition, greedy_partition
+from repro.parallel.shared import SharedArray, SharedArraySpec, attach
+
+__all__ = [
+    "ParallelPredictor",
+    "SharedArray",
+    "SharedArraySpec",
+    "attach",
+    "block_partition",
+    "cyclic_partition",
+    "greedy_partition",
+    "parallel_item_pcc",
+    "recommended_workers",
+]

@@ -1,0 +1,191 @@
+"""Multi-process online prediction (Section VI: "in a parallel manner").
+
+The paper names parallel scalability as future work; this module
+delivers it for the online phase.  Active users are independent —
+their cached state (cluster assignment, top-K selection) is per-user —
+so the request stream shards cleanly by user.
+
+Two transport strategies:
+
+* ``fork`` (default on Linux): workers inherit the fitted model's
+  arrays copy-on-write.  Zero copies, zero serialisation of the model;
+  the only pickled payload per task is an index array.
+* ``spawn``-safe explicit sharing is available for the *offline* phase
+  via :func:`repro.parallel.offline.parallel_item_pcc`, which moves the
+  rating matrix through :mod:`repro.parallel.shared`.
+
+Speedups are bounded by BLAS already using multiple threads inside a
+single process — set ``OMP_NUM_THREADS=1`` in workers (done by the
+initializer) to avoid oversubscription, the standard HPC hygiene.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.base import Recommender
+from repro.data.matrix import RatingMatrix
+from repro.parallel.partition import greedy_partition
+from repro.utils.validation import check_positive_int
+
+__all__ = ["ParallelPredictor", "recommended_workers"]
+
+# Worker-global state, set once per worker by the pool initializer so
+# that per-task payloads stay tiny.  (Module-level by necessity:
+# multiprocessing cannot pickle closures into initializers.)
+_WORKER_MODEL: Recommender | None = None
+_WORKER_GIVEN: RatingMatrix | None = None
+
+
+def _init_worker(model: Recommender, given: RatingMatrix) -> None:
+    """Pool initializer: pin state and tame BLAS thread fan-out."""
+    global _WORKER_MODEL, _WORKER_GIVEN
+    os.environ["OMP_NUM_THREADS"] = "1"
+    os.environ["OPENBLAS_NUM_THREADS"] = "1"
+    os.environ["MKL_NUM_THREADS"] = "1"
+    _WORKER_MODEL = model
+    _WORKER_GIVEN = given
+
+
+def _predict_chunk(args: tuple[np.ndarray, np.ndarray]) -> np.ndarray:
+    """Worker task: predict one shard of (users, items)."""
+    users, items = args
+    assert _WORKER_MODEL is not None and _WORKER_GIVEN is not None
+    return _WORKER_MODEL.predict_many(_WORKER_GIVEN, users, items)
+
+
+def recommended_workers(max_workers: int | None = None) -> int:
+    """A sane worker count: physical CPUs capped at *max_workers*."""
+    n = os.cpu_count() or 1
+    if max_workers is not None:
+        n = min(n, max_workers)
+    return max(1, n)
+
+
+class ParallelPredictor:
+    """Shard ``predict_many`` across a process pool.
+
+    Parameters
+    ----------
+    model:
+        A *fitted* recommender.  With the ``fork`` start method the
+        model is inherited copy-on-write; it must not be mutated while
+        the predictor is alive.
+    n_workers:
+        Pool size (default: CPU count).
+    start_method:
+        ``"fork"`` (default, Linux) or ``"spawn"``.  Spawn pickles the
+        model once per worker — correct everywhere but slower to start.
+
+    Examples
+    --------
+    >>> from repro.core import CFSF
+    >>> from repro.data import make_movielens_like, make_split
+    >>> split = make_split(make_movielens_like(seed=0).ratings,
+    ...                    n_train_users=300, given_n=10)
+    >>> model = CFSF().fit(split.train)
+    >>> users, items, _ = split.targets_arrays()
+    >>> with ParallelPredictor(model, n_workers=2) as pp:
+    ...     preds = pp.predict_many(split.given, users[:100], items[:100])
+    >>> preds.shape
+    (100,)
+    """
+
+    def __init__(
+        self,
+        model: Recommender,
+        *,
+        n_workers: int | None = None,
+        start_method: str = "fork",
+    ) -> None:
+        if start_method not in ("fork", "spawn"):
+            raise ValueError(f"start_method must be 'fork' or 'spawn', got {start_method!r}")
+        self.model = model
+        self.n_workers = (
+            recommended_workers() if n_workers is None else check_positive_int(n_workers, "n_workers")
+        )
+        self.start_method = start_method
+        self._pool: mp.pool.Pool | None = None
+        self._pool_given: RatingMatrix | None = None
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self, given: RatingMatrix) -> mp.pool.Pool:
+        """(Re)create the pool when the given matrix changes.
+
+        Workers hold the given matrix in their globals, so a new active
+        population requires a fresh pool.  The common serving pattern —
+        many requests against one population — pays the fork cost once.
+        """
+        if self._pool is not None and self._pool_given is given:
+            return self._pool
+        self.close()
+        ctx = mp.get_context(self.start_method)
+        self._pool = ctx.Pool(
+            processes=self.n_workers,
+            initializer=_init_worker,
+            initargs=(self.model, given),
+        )
+        self._pool_given = given
+        return self._pool
+
+    def predict_many(
+        self,
+        given: RatingMatrix,
+        users: np.ndarray | Sequence[int],
+        items: np.ndarray | Sequence[int],
+    ) -> np.ndarray:
+        """Parallel equivalent of ``model.predict_many`` (bit-identical).
+
+        Requests are sharded by active user with LPT balancing on
+        per-user request counts; each worker prediction batch keeps all
+        of a user's requests together to preserve the model's per-user
+        caching.
+        """
+        users = np.asarray(users, dtype=np.intp)
+        items = np.asarray(items, dtype=np.intp)
+        if users.shape != items.shape or users.ndim != 1:
+            raise ValueError("users and items must be parallel 1-D arrays")
+        if users.size == 0:
+            return np.empty(0, dtype=np.float64)
+        if self.n_workers == 1:
+            return self.model.predict_many(given, users, items)
+
+        unique_users, inverse = np.unique(users, return_inverse=True)
+        counts = np.bincount(inverse, minlength=unique_users.size)
+        parts = greedy_partition(counts, min(self.n_workers, unique_users.size))
+
+        tasks: list[tuple[np.ndarray, np.ndarray]] = []
+        request_slices: list[np.ndarray] = []
+        for part in parts:
+            if part.size == 0:
+                continue
+            sel = np.isin(inverse, part)
+            idx = np.nonzero(sel)[0]
+            tasks.append((users[idx], items[idx]))
+            request_slices.append(idx)
+
+        pool = self._ensure_pool(given)
+        results = pool.map(_predict_chunk, tasks)
+        out = np.empty(users.shape, dtype=np.float64)
+        for idx, chunk in zip(request_slices, results):
+            out[idx] = chunk
+        return out
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+            self._pool_given = None
+
+    def __enter__(self) -> "ParallelPredictor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

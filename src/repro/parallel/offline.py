@@ -1,0 +1,137 @@
+"""Parallel offline phase: tiled item-similarity construction.
+
+The offline phase's dominant cost is the all-pairs item PCC behind the
+GIS (three ``Q x Q`` Gram products at MovieLens scale; cubic-ish growth
+as catalogues grow).  This module computes the same matrix with
+row-block tiles fanned out over a process pool, moving the inputs and
+the output through POSIX shared memory (:mod:`repro.parallel.shared`)
+so no worker ever pickles a matrix.
+
+The decomposition: with ``Rc`` the mask-centred ratings and ``W`` the
+mask (both shared read-only), tile *t* owning item rows ``[j0, j1)``
+computes::
+
+    sim[j0:j1, :] = (Rc[:, j0:j1].T @ Rc) / sqrt(den1 * den2)
+    den1          = (Rc²)[:, j0:j1].T @ W
+    den2          = W[:, j0:j1].T @ (Rc²)
+
+and writes its slice directly into the shared output — no gather step.
+Tiles are independent; the parent only synchronises at pool join.
+
+Agreement with the serial kernel is at floating-point rounding level
+(tiled BLAS products sum in a different order than the one-shot
+product), which the test suite asserts at 1e-12 tolerance.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+
+import numpy as np
+
+from repro.data.matrix import RatingMatrix
+from repro.parallel.partition import block_partition
+from repro.parallel.shared import SharedArray, SharedArraySpec, attach
+from repro.similarity import Centering
+from repro.utils.validation import check_positive_int
+
+__all__ = ["parallel_item_pcc"]
+
+
+def _tile_worker(
+    args: tuple[
+        SharedArraySpec, SharedArraySpec, SharedArraySpec, SharedArraySpec, int, int, int
+    ]
+) -> None:
+    """Compute one row-tile of the similarity matrix in shared memory."""
+    rc_spec, rc2_spec, w_spec, out_spec, j0, j1, min_overlap = args
+    os.environ["OMP_NUM_THREADS"] = "1"
+    rc, h1 = attach(rc_spec)
+    rc2, h2 = attach(rc2_spec)
+    w, h3 = attach(w_spec)
+    out, h4 = attach(out_spec)
+    try:
+        n = w[:, j0:j1].T @ w
+        num = rc[:, j0:j1].T @ rc
+        den1 = rc2[:, j0:j1].T @ w
+        den2 = w[:, j0:j1].T @ rc2
+        denom = np.sqrt(den1 * den2)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            sim = np.where(denom > 0.0, num / np.where(denom > 0.0, denom, 1.0), 0.0)
+        sim[n < min_overlap] = 0.0
+        np.clip(sim, -1.0, 1.0, out=sim)
+        out[j0:j1, :] = sim
+    finally:
+        for h in (h1, h2, h3, h4):
+            h.close()
+
+
+def parallel_item_pcc(
+    train: RatingMatrix,
+    *,
+    n_workers: int = 2,
+    min_overlap: int = 2,
+    centering: Centering = "global_mean",
+) -> np.ndarray:
+    """Item–item PCC computed by a pool of tile workers.
+
+    Produces exactly :func:`repro.similarity.item_pcc` (global-mean
+    centering); ``corated_mean`` is not offered here because its
+    six-product form gains little from tiling at these sizes.
+
+    Parameters
+    ----------
+    train:
+        Training matrix.
+    n_workers:
+        Pool size; also the tile count (one tile per worker keeps the
+        BLAS calls large).
+    min_overlap:
+        Minimum co-rating count, as in the serial kernel.
+    """
+    if centering != "global_mean":
+        raise ValueError("parallel_item_pcc supports centering='global_mean' only")
+    check_positive_int(n_workers, "n_workers")
+    R = np.where(train.mask, train.values, 0.0)
+    W = train.mask.astype(np.float64)
+    counts = W.sum(axis=0)
+    with np.errstate(invalid="ignore"):
+        col_means = np.where(counts > 0, R.sum(axis=0) / np.maximum(counts, 1.0), 0.0)
+    Rc = (R - col_means[None, :]) * W
+    Q = train.n_items
+
+    if n_workers == 1:
+        from repro.similarity import item_pcc
+
+        return item_pcc(train.values, train.mask, min_overlap=min_overlap)
+
+    shared_rc = SharedArray.from_array(Rc)
+    shared_rc2 = SharedArray.from_array(Rc * Rc)
+    shared_w = SharedArray.from_array(W)
+    shared_out = SharedArray.zeros((Q, Q))
+    try:
+        tiles = [p for p in block_partition(Q, n_workers) if p.size]
+        tasks = [
+            (
+                shared_rc.spec,
+                shared_rc2.spec,
+                shared_w.spec,
+                shared_out.spec,
+                int(t[0]),
+                int(t[-1]) + 1,
+                min_overlap,
+            )
+            for t in tiles
+        ]
+        ctx = mp.get_context("fork")
+        with ctx.Pool(processes=len(tasks)) as pool:
+            pool.map(_tile_worker, tasks)
+        sim = shared_out.array.copy()
+    finally:
+        shared_rc.close()
+        shared_rc2.close()
+        shared_w.close()
+        shared_out.close()
+    np.fill_diagonal(sim, 1.0)
+    return sim

@@ -1,0 +1,87 @@
+"""Workload partitioning strategies for the parallel executors.
+
+Online CF prediction is embarrassingly parallel across *active users*
+(each user's requests share cached state, so a user must not be split
+across workers), but users carry unequal work: the number of held-out
+items per user varies by an order of magnitude in the GivenN protocol.
+Block partitioning of users therefore load-imbalances; the greedy LPT
+(longest-processing-time) heuristic on per-user request counts gets
+within a few percent of optimal makespan at negligible cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+__all__ = ["block_partition", "cyclic_partition", "greedy_partition"]
+
+
+def block_partition(n: int, n_parts: int) -> list[np.ndarray]:
+    """Split ``range(n)`` into contiguous blocks of near-equal length.
+
+    The first ``n % n_parts`` blocks get one extra element.  Empty
+    blocks are returned when ``n < n_parts`` so callers can zip parts
+    with a fixed worker pool.
+    """
+    check_positive_int(n_parts, "n_parts")
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    base, extra = divmod(n, n_parts)
+    parts: list[np.ndarray] = []
+    start = 0
+    for p in range(n_parts):
+        size = base + (1 if p < extra else 0)
+        parts.append(np.arange(start, start + size, dtype=np.intp))
+        start += size
+    return parts
+
+
+def cyclic_partition(n: int, n_parts: int) -> list[np.ndarray]:
+    """Deal ``range(n)`` round-robin: part *p* gets ``p, p+P, p+2P, ...``.
+
+    Good when cost correlates with index (e.g. items sorted by
+    popularity) — the correlation is spread across parts.
+    """
+    check_positive_int(n_parts, "n_parts")
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    return [np.arange(p, n, n_parts, dtype=np.intp) for p in range(n_parts)]
+
+
+def greedy_partition(costs: np.ndarray, n_parts: int) -> list[np.ndarray]:
+    """LPT scheduling: heaviest item first onto the lightest part.
+
+    Parameters
+    ----------
+    costs:
+        Per-element nonnegative work estimates (e.g. held-out items
+        per active user).
+    n_parts:
+        Number of parts (workers).
+
+    Returns
+    -------
+    list of index arrays, one per part; within a part indices are
+    sorted ascending (cache-friendlier gathers).
+
+    Notes
+    -----
+    LPT's makespan is at most ``4/3 − 1/(3m)`` of optimal — plenty for
+    a prediction fan-out where per-task variance dominates anyway.
+    """
+    check_positive_int(n_parts, "n_parts")
+    costs = np.asarray(costs, dtype=np.float64)
+    if costs.ndim != 1:
+        raise ValueError(f"costs must be 1-D, got ndim={costs.ndim}")
+    if (costs < 0).any():
+        raise ValueError("costs must be nonnegative")
+    order = np.argsort(-costs, kind="stable")
+    loads = np.zeros(n_parts)
+    buckets: list[list[int]] = [[] for _ in range(n_parts)]
+    for idx in order:
+        p = int(np.argmin(loads))
+        buckets[p].append(int(idx))
+        loads[p] += costs[idx]
+    return [np.array(sorted(b), dtype=np.intp) for b in buckets]

@@ -1,0 +1,118 @@
+"""Shared-memory NumPy arrays for multi-process prediction.
+
+CPython's GIL forces process-level parallelism for CPU-bound NumPy
+orchestration code, and processes do not share address spaces — naively
+shipping the rating matrix to each worker costs a pickle round-trip per
+task.  This module wraps :mod:`multiprocessing.shared_memory` so that
+large read-only arrays (the smoothed matrix, the GIS, the given
+profiles) are placed in a POSIX shared-memory segment once and mapped
+zero-copy by every worker.
+
+The handle (:class:`SharedArraySpec`) is a tiny picklable description
+``(segment name, shape, dtype)``; workers call :func:`attach` to get a
+NumPy view backed by the same physical pages.
+
+Lifetime rules (the part people get wrong):
+
+* The *creator* owns the segment: call :meth:`SharedArray.close` (or
+  use the context manager) to unlink it.  Leaked segments persist until
+  reboot on Linux.
+* Workers must keep a reference to the attached
+  ``SharedMemory`` object alive as long as they use the view;
+  :func:`attach` returns both for that reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any
+
+import numpy as np
+
+__all__ = ["SharedArraySpec", "SharedArray", "attach"]
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Picklable handle to a shared-memory NumPy array."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the described array in bytes."""
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+class SharedArray:
+    """A NumPy array living in a shared-memory segment (creator side).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> with SharedArray.from_array(np.arange(6.0).reshape(2, 3)) as sa:
+    ...     view, handle = attach(sa.spec)
+    ...     total = float(view.sum())
+    ...     handle.close()
+    >>> total
+    15.0
+    """
+
+    def __init__(self, spec: SharedArraySpec, shm: shared_memory.SharedMemory) -> None:
+        self.spec = spec
+        self._shm = shm
+        self.array: np.ndarray = np.ndarray(
+            spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf
+        )
+
+    @classmethod
+    def from_array(cls, source: np.ndarray, *, name: str | None = None) -> "SharedArray":
+        """Copy *source* into a fresh shared segment."""
+        source = np.ascontiguousarray(source)
+        shm = shared_memory.SharedMemory(create=True, size=max(source.nbytes, 1), name=name)
+        spec = SharedArraySpec(name=shm.name, shape=source.shape, dtype=source.dtype.str)
+        sa = cls(spec, shm)
+        sa.array[...] = source
+        return sa
+
+    @classmethod
+    def zeros(
+        cls, shape: tuple[int, ...], dtype: Any = np.float64, *, name: str | None = None
+    ) -> "SharedArray":
+        """Allocate a zero-filled shared array (e.g. a parallel output)."""
+        dt = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dt.itemsize
+        shm = shared_memory.SharedMemory(create=True, size=max(nbytes, 1), name=name)
+        spec = SharedArraySpec(name=shm.name, shape=tuple(shape), dtype=dt.str)
+        sa = cls(spec, shm)
+        sa.array[...] = 0
+        return sa
+
+    def close(self) -> None:
+        """Release and unlink the segment (creator responsibility)."""
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except FileNotFoundError:  # already unlinked — idempotent close
+            pass
+
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def attach(spec: SharedArraySpec) -> tuple[np.ndarray, shared_memory.SharedMemory]:
+    """Map an existing segment (worker side).
+
+    Returns ``(view, handle)``; the caller must keep *handle* alive
+    while using *view* and ``handle.close()`` when done (close only —
+    never unlink from a worker).
+    """
+    shm = shared_memory.SharedMemory(name=spec.name)
+    view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
+    return view, shm

@@ -1,0 +1,106 @@
+"""Wall-clock timing helpers for the scalability experiments.
+
+Fig. 5 of the paper plots *online response time* against test-set size.
+Reproducing it needs (a) a way to time just the online phase of a fitted
+model, excluding the offline fit, and (b) repeated measurements with a
+cheap summary.  ``timeit`` is awkward for measuring methods with large
+bound state, so we provide a tiny stopwatch and a ``time_call`` helper
+that the benchmark harness layers on top of.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Stopwatch", "time_call", "TimingResult"]
+
+
+class Stopwatch:
+    """Accumulating stopwatch with context-manager ergonomics.
+
+    Examples
+    --------
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     _ = sum(range(1000))
+    >>> sw.elapsed > 0.0
+    True
+    >>> sw.laps
+    1
+    """
+
+    __slots__ = ("elapsed", "laps", "_start")
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self.laps = 0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        assert self._start is not None, "Stopwatch exited without entering"
+        self.elapsed += time.perf_counter() - self._start
+        self.laps += 1
+        self._start = None
+
+    def reset(self) -> None:
+        """Zero the accumulated time and lap count."""
+        self.elapsed = 0.0
+        self.laps = 0
+        self._start = None
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per lap (0.0 before the first lap completes)."""
+        return self.elapsed / self.laps if self.laps else 0.0
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Summary of repeated timings of one callable."""
+
+    seconds: tuple[float, ...]
+    value: Any = field(repr=False, default=None)
+
+    @property
+    def best(self) -> float:
+        """Minimum observed time — the standard noise-robust statistic."""
+        return min(self.seconds)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observed times."""
+        return sum(self.seconds) / len(self.seconds)
+
+    @property
+    def total(self) -> float:
+        """Sum of all observed times."""
+        return sum(self.seconds)
+
+
+def time_call(
+    func: Callable[..., Any],
+    *args: Any,
+    repeats: int = 3,
+    **kwargs: Any,
+) -> TimingResult:
+    """Run ``func(*args, **kwargs)`` *repeats* times and time each run.
+
+    Returns the per-run wall-clock times and the value from the final
+    run (so callers can both time and use a prediction pass without
+    running it twice).
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    seconds: list[float] = []
+    value: Any = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = func(*args, **kwargs)
+        seconds.append(time.perf_counter() - start)
+    return TimingResult(seconds=tuple(seconds), value=value)

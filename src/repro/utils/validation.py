@@ -1,0 +1,109 @@
+"""Argument validation helpers with uniform error messages.
+
+Every public entry point in :mod:`repro` validates its inputs through
+these helpers so that user-facing errors are consistent and informative
+(``ValueError``/``TypeError`` with the offending name and value), and so
+that the validation logic itself is unit-testable in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "require",
+    "check_positive_int",
+    "check_fraction",
+    "check_rating_matrix",
+    "check_mask",
+    "check_same_shape",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with *message* unless *condition* holds.
+
+    A terse guard used where constructing a specialised checker would be
+    noise.  Prefer the specific ``check_*`` helpers when one fits.
+    """
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive_int(value: Any, name: str, *, minimum: int = 1) -> int:
+    """Validate that *value* is an integer ``>= minimum`` and return it.
+
+    Accepts Python ints and NumPy integer scalars; rejects bools (which
+    are ints in Python but never a sensible count).
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    value = int(value)
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def check_fraction(value: Any, name: str, *, closed: bool = True) -> float:
+    """Validate that *value* lies in ``[0, 1]`` (or ``(0, 1)``) and return it.
+
+    Parameters
+    ----------
+    closed:
+        When ``True`` (default) the endpoints 0 and 1 are allowed, which
+        matches the paper's fusion parameters lambda and delta
+        ("between 0 and 1", Eq. 14).  When ``False`` the interval is
+        open, e.g. for sampling densities that must be strictly inside.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float, np.floating, np.integer)):
+        raise TypeError(f"{name} must be a float, got {type(value).__name__}")
+    value = float(value)
+    if not np.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+    if closed:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {value}")
+    else:
+        if not 0.0 < value < 1.0:
+            raise ValueError(f"{name} must be in (0, 1), got {value}")
+    return value
+
+
+def check_rating_matrix(ratings: Any, name: str = "ratings") -> np.ndarray:
+    """Validate a raw 2-D rating array and return it as C-contiguous float64.
+
+    The convention throughout the library is *users on rows, items on
+    columns* (the paper's ``P x Q`` user-vector view, transposed from
+    its ``Q x P`` item-vector view).  Unrated entries are represented by
+    a separate boolean mask, so the value array itself must be finite
+    wherever it will be read; NaNs are tolerated here because callers
+    combine this with :func:`check_mask`.
+    """
+    arr = np.asarray(ratings, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-D (users x items), got ndim={arr.ndim}")
+    if arr.shape[0] == 0 or arr.shape[1] == 0:
+        raise ValueError(f"{name} must be non-empty, got shape {arr.shape}")
+    return np.ascontiguousarray(arr)
+
+
+def check_mask(mask: Any, shape: tuple[int, int], name: str = "mask") -> np.ndarray:
+    """Validate a boolean rated-mask against an expected *shape*."""
+    arr = np.asarray(mask)
+    if arr.dtype != np.bool_:
+        if not np.isin(arr, (0, 1)).all():
+            raise ValueError(f"{name} must be boolean or 0/1 valued")
+        arr = arr.astype(bool)
+    if arr.shape != tuple(shape):
+        raise ValueError(f"{name} shape {arr.shape} does not match ratings shape {tuple(shape)}")
+    return np.ascontiguousarray(arr)
+
+
+def check_same_shape(a: np.ndarray, b: np.ndarray, names: tuple[str, str] = ("a", "b")) -> None:
+    """Raise if two arrays differ in shape."""
+    if a.shape != b.shape:
+        raise ValueError(
+            f"{names[0]} shape {a.shape} does not match {names[1]} shape {b.shape}"
+        )

@@ -1,0 +1,79 @@
+"""Shared fixtures for the test suite.
+
+The expensive fixtures (generated datasets, fitted models) are
+session-scoped: they are deterministic, read-only, and reused by many
+test modules — regeneration per test would dominate suite runtime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CFSF
+from repro.data import (
+    GivenNSplit,
+    RatingMatrix,
+    SyntheticConfig,
+    make_movielens_like,
+    make_split,
+)
+
+#: A small-but-structured generator config used across the suite:
+#: large enough for clustering/smoothing to be meaningful, small enough
+#: that a fit takes ~10ms.
+SMALL_CONFIG = SyntheticConfig(
+    n_users=120,
+    n_items=150,
+    n_genres=8,
+    mean_ratings_per_user=30.0,
+    min_ratings_per_user=12,
+)
+
+
+@pytest.fixture(scope="session")
+def ml_small() -> RatingMatrix:
+    """A 120x150 MovieLens-shaped matrix (session-scoped, read-only)."""
+    return make_movielens_like(SMALL_CONFIG, seed=7).ratings
+
+
+@pytest.fixture(scope="session")
+def split_small(ml_small: RatingMatrix) -> GivenNSplit:
+    """An 80-train / 30-test / Given8 split over ``ml_small``."""
+    return make_split(ml_small, n_train_users=80, given_n=8, n_test_users=30, seed=3)
+
+
+@pytest.fixture(scope="session")
+def cfsf_small(split_small: GivenNSplit) -> CFSF:
+    """A CFSF fitted on the small split (do not mutate: session scope).
+
+    Uses a reduced geometry (C=8, M=30, K=10) appropriate for the
+    small matrix.
+    """
+    model = CFSF(n_clusters=8, top_m_items=30, top_k_users=10)
+    model.fit(split_small.train)
+    return model
+
+
+@pytest.fixture()
+def tiny_rm() -> RatingMatrix:
+    """A hand-written 4-user x 5-item matrix with known structure.
+
+    Users 0/1 agree (parallel profiles), user 2 anti-agrees, user 3 is
+    sparse.  0 encodes "unrated".
+    """
+    values = np.array(
+        [
+            [5.0, 4.0, 0.0, 2.0, 1.0],
+            [4.0, 5.0, 0.0, 1.0, 2.0],
+            [1.0, 2.0, 5.0, 4.0, 5.0],
+            [0.0, 0.0, 3.0, 0.0, 0.0],
+        ]
+    )
+    return RatingMatrix(values)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh seeded generator per test."""
+    return np.random.default_rng(12345)

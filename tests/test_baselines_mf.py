@@ -1,0 +1,78 @@
+"""Tests for the matrix-factorisation baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import MatrixFactorization, MeanPredictor
+from repro.eval import mae
+
+
+@pytest.fixture(scope="module")
+def fitted_mf(split_small):
+    return MatrixFactorization(n_factors=8, n_epochs=25, seed=0).fit(split_small.train)
+
+
+class TestTraining:
+    def test_training_rmse_decreases(self, fitted_mf):
+        trace = fitted_mf.training_rmse_trace
+        assert len(trace) == 25
+        assert trace[-1] < trace[0]
+
+    def test_deterministic_by_seed(self, split_small):
+        users, items, _ = split_small.targets_arrays()
+        a = MatrixFactorization(n_factors=4, n_epochs=5, seed=3).fit(split_small.train)
+        b = MatrixFactorization(n_factors=4, n_epochs=5, seed=3).fit(split_small.train)
+        pa = a.predict_many(split_small.given, users[:30], items[:30])
+        pb = b.predict_many(split_small.given, users[:30], items[:30])
+        assert np.allclose(pa, pb)
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            MatrixFactorization(lr=0.0)
+        with pytest.raises(ValueError):
+            MatrixFactorization(reg=-1.0)
+        with pytest.raises(ValueError):
+            MatrixFactorization(n_factors=0)
+        with pytest.raises(ValueError):
+            MatrixFactorization(init_sd=0.0)
+
+
+class TestPrediction:
+    def test_in_scale_and_finite(self, fitted_mf, split_small):
+        users, items, _ = split_small.targets_arrays()
+        preds = fitted_mf.predict_many(split_small.given, users, items)
+        lo, hi = split_small.train.rating_scale
+        assert np.isfinite(preds).all()
+        assert preds.min() >= lo and preds.max() <= hi
+
+    def test_beats_global_mean(self, fitted_mf, split_small):
+        users, items, truth = split_small.targets_arrays()
+        m_mf = mae(truth, fitted_mf.predict_many(split_small.given, users, items))
+        m_gm = mae(truth, np.full(truth.shape, split_small.train.global_mean()))
+        assert m_mf < m_gm
+
+    def test_fold_in_uses_given_profile(self, fitted_mf, split_small):
+        """Fold-in must personalise: an inverted profile changes the
+        prediction for the same user row."""
+        from repro.data import RatingMatrix
+
+        p1 = fitted_mf.predict(split_small.given, 0, 3)
+        vals = split_small.given.values.copy()
+        mask = split_small.given.mask.copy()
+        rated = np.nonzero(mask[0])[0]
+        vals[0, rated] = np.clip(6.0 - vals[0, rated], 1, 5)
+        p2 = fitted_mf.predict(RatingMatrix(vals, mask), 0, 3)
+        assert p1 != pytest.approx(p2, abs=1e-9)
+
+    def test_empty_profile_falls_back_to_biases(self, fitted_mf, split_small):
+        from repro.data import RatingMatrix
+
+        empty = RatingMatrix(
+            np.zeros((1, split_small.train.n_items)),
+            np.zeros((1, split_small.train.n_items), dtype=bool),
+        )
+        pred = fitted_mf.predict(empty, 0, 0)
+        lo, hi = split_small.train.rating_scale
+        assert lo <= pred <= hi

@@ -1,0 +1,85 @@
+"""Tests for the command-line interface.
+
+The heavy commands (table2/table3 on the full grid) are exercised with
+reduced grids; the CLI plumbing (parsing, dispatch, output format) is
+what is under test, not the experiments themselves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data import clear_dataset_cache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_dataset_cache():
+    clear_dataset_cache()
+    yield
+    clear_dataset_cache()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_sweep_requires_values(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "lambda"])
+
+    def test_seed_is_global(self):
+        args = build_parser().parse_args(["--seed", "7", "stats"])
+        assert args.seed == 7 and args.command == "stats"
+
+
+class TestCommands:
+    def test_stats(self, capsys):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "No. of Users" in out
+
+    def test_table2_reduced(self, capsys):
+        code = main(
+            ["table2", "--train-sizes", "100", "--given", "10"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CFSF" in out and "SIR" in out and "Given10" in out
+
+    def test_sweep_lambda(self, capsys):
+        code = main(
+            ["sweep", "lambda", "0.2", "0.8", "--train-size", "100", "--given-n", "10"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sensitivity" in out and "0.2" in out
+
+    def test_sweep_integer_parameter_coerced(self, capsys):
+        code = main(
+            ["sweep", "K", "10", "25", "--train-size", "100", "--given-n", "10"]
+        )
+        assert code == 0
+        assert "MAE" in capsys.readouterr().out
+
+    def test_recommend(self, capsys):
+        code = main(
+            ["recommend", "--user", "0", "--n", "5", "--train-size", "100",
+             "--given-n", "10"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Top-5" in out and "rank" in out
+
+    def test_scalability_small(self, capsys):
+        code = main(
+            ["scalability", "--train-size", "100", "--fractions", "0.2", "0.4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CFSF (s)" in out and "SCBPCC (s)" in out

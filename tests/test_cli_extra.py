@@ -1,0 +1,41 @@
+"""Tests for the crossval/tune CLI commands (reduced workloads)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.data import clear_dataset_cache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_dataset_cache()
+    yield
+    clear_dataset_cache()
+
+
+class TestCrossvalCommand:
+    @pytest.mark.slow
+    def test_crossval_runs(self, capsys):
+        code = main(["crossval", "--folds", "2", "--given-n", "10",
+                     "--methods", "CFSF"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cross-validation" in out and "MAE mean" in out
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            main(["crossval", "--methods", "Oracle"])
+
+
+class TestTuneCommand:
+    @pytest.mark.slow
+    def test_tune_runs(self, capsys):
+        code = main([
+            "tune", "--train-size", "100", "--given-n", "10",
+            "--lam", "0.4", "0.8", "--delta", "0.1", "--epsilon", "0.35",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Best of 2 trials" in out and "validation MAE" in out

@@ -1,0 +1,82 @@
+"""Exhaustive validation tests for CFSFConfig."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CFSFConfig, PAPER_DEFAULTS
+
+
+class TestDefaults:
+    def test_paper_parameters(self):
+        assert PAPER_DEFAULTS.n_clusters == 30
+        assert PAPER_DEFAULTS.top_m_items == 95
+        assert PAPER_DEFAULTS.top_k_users == 25
+        assert PAPER_DEFAULTS.lam == 0.8
+        assert PAPER_DEFAULTS.delta == 0.1
+        assert PAPER_DEFAULTS.epsilon == 0.35
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PAPER_DEFAULTS.lam = 0.5  # type: ignore[misc]
+
+    def test_effective_candidate_pool_default(self):
+        assert CFSFConfig().effective_candidate_pool() == 100
+        assert CFSFConfig(candidate_pool=42).effective_candidate_pool() == 42
+        assert CFSFConfig(top_k_users=10).effective_candidate_pool() == 40
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("n_clusters", 0),
+        ("top_m_items", 0),
+        ("top_k_users", -1),
+        ("min_overlap", 0),
+        ("candidate_clusters", 0),
+        ("candidate_pool", 0),
+        ("cache_size", -1),
+        ("kmeans_max_iter", 0),
+        ("smoothing_shrinkage", -0.5),
+        ("active_smoothing_clusters", 0),
+    ])
+    def test_rejects_bad_counts(self, field, value):
+        with pytest.raises((ValueError, TypeError)):
+            CFSFConfig(**{field: value})
+
+    @pytest.mark.parametrize("field", ["lam", "delta", "epsilon", "gis_threshold"])
+    @pytest.mark.parametrize("value", [-0.1, 1.1, float("nan")])
+    def test_rejects_out_of_unit_interval(self, field, value):
+        with pytest.raises(ValueError):
+            CFSFConfig(**{field: value})
+
+    def test_accepts_boundary_fractions(self):
+        cfg = CFSFConfig(lam=0.0, delta=1.0, epsilon=1.0, gis_threshold=0.0)
+        assert cfg.delta == 1.0
+
+    def test_none_pools_allowed(self):
+        cfg = CFSFConfig(candidate_clusters=None, candidate_pool=None)
+        assert cfg.candidate_clusters is None
+
+
+class TestWith:
+    def test_returns_new_instance(self):
+        base = CFSFConfig()
+        changed = base.with_(lam=0.3)
+        assert changed is not base
+        assert base.lam == 0.8 and changed.lam == 0.3
+
+    def test_validates_on_replace(self):
+        with pytest.raises(ValueError):
+            CFSFConfig().with_(delta=2.0)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(TypeError):
+            CFSFConfig().with_(bogus=1)
+
+    def test_chained(self):
+        cfg = CFSFConfig().with_(lam=0.2).with_(delta=0.5)
+        assert (cfg.lam, cfg.delta) == (0.2, 0.5)
+
+    def test_equality(self):
+        assert CFSFConfig() == CFSFConfig()
+        assert CFSFConfig() != CFSFConfig(lam=0.5)

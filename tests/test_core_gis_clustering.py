@@ -1,0 +1,122 @@
+"""Tests for the offline GIS and user-clustering stages."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import build_gis, cluster_users
+from repro.similarity import item_pcc
+
+
+class TestBuildGis:
+    def test_sim_matches_kernel(self, ml_small):
+        gis = build_gis(ml_small)
+        assert np.allclose(gis.sim, item_pcc(ml_small.values, ml_small.mask))
+
+    def test_neighbours_sorted_descending(self, ml_small):
+        gis = build_gis(ml_small)
+        for item in (0, 7, 42):
+            sims = gis.sim[item, gis.neighbours[item]]
+            assert (np.diff(sims) <= 1e-12).all()
+
+    def test_neighbours_exclude_self(self, ml_small):
+        gis = build_gis(ml_small)
+        for item in range(ml_small.n_items):
+            assert item not in gis.neighbours[item]
+
+    def test_top_m_positive_only(self, ml_small):
+        gis = build_gis(ml_small)
+        idx, sims = gis.top_m(3, 50)
+        assert (sims > 0).all()
+        assert len(idx) == len(sims) <= 50
+
+    def test_top_m_bounds(self, ml_small):
+        gis = build_gis(ml_small)
+        with pytest.raises(ValueError):
+            gis.top_m(-1, 5)
+        with pytest.raises(ValueError):
+            gis.top_m(0, 0)
+
+    def test_threshold_reduces_density(self, ml_small):
+        loose = build_gis(ml_small, threshold=0.0)
+        tight = build_gis(ml_small, threshold=0.3)
+        assert tight.sparsity() > loose.sparsity()
+        # surviving entries unchanged
+        surviving = tight.sim != 0.0
+        assert np.allclose(tight.sim[surviving], loose.sim[surviving])
+
+    def test_memory_accounting_positive(self, ml_small):
+        assert build_gis(ml_small).memory_bytes() > 0
+
+
+class TestClusterUsers:
+    def test_every_user_assigned(self, ml_small):
+        res = cluster_users(ml_small, 8, seed=0)
+        assert res.labels.shape == (ml_small.n_users,)
+        assert res.labels.min() >= 0 and res.labels.max() < 8
+
+    def test_no_empty_clusters(self, ml_small):
+        res = cluster_users(ml_small, 8, seed=0)
+        assert (res.sizes() > 0).all()
+
+    def test_centroids_dense_and_in_scale(self, ml_small):
+        res = cluster_users(ml_small, 8, seed=0)
+        assert res.centroids.shape == (8, ml_small.n_items)
+        assert np.isfinite(res.centroids).all()
+        lo, hi = ml_small.rating_scale
+        assert res.centroids.min() >= lo and res.centroids.max() <= hi
+
+    def test_deterministic_by_seed(self, ml_small):
+        a = cluster_users(ml_small, 8, seed=4)
+        b = cluster_users(ml_small, 8, seed=4)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_more_clusters_than_users_clamps(self, tiny_rm):
+        res = cluster_users(tiny_rm, 10, seed=0)
+        assert res.n_clusters == tiny_rm.n_users
+
+    def test_members_partition_users(self, ml_small):
+        res = cluster_users(ml_small, 8, seed=0)
+        all_members = np.concatenate([res.members(c) for c in range(8)])
+        assert sorted(all_members.tolist()) == list(range(ml_small.n_users))
+
+    def test_members_bounds(self, ml_small):
+        res = cluster_users(ml_small, 8, seed=0)
+        with pytest.raises(ValueError):
+            res.members(8)
+
+    def test_objective_better_than_random_assignment(self, ml_small):
+        res = cluster_users(ml_small, 8, seed=0, max_iter=20)
+        rng = np.random.default_rng(0)
+        random_labels = rng.integers(0, 8, size=ml_small.n_users)
+        random_obj = res.similarities[np.arange(ml_small.n_users), random_labels].mean()
+        assert res.objective() > random_obj
+
+    def test_converges_on_easy_data(self, ml_small):
+        res = cluster_users(ml_small, 4, seed=0, max_iter=50)
+        assert res.converged
+
+    def test_recovers_planted_groups_better_than_chance(self):
+        """On generated data, K-means at the planted granularity should
+        produce clusters substantially purer than random assignment."""
+        from repro.data import SyntheticConfig, make_movielens_like
+
+        cfg = SyntheticConfig(
+            n_users=90, n_items=120, mean_ratings_per_user=35,
+            min_ratings_per_user=20, n_user_groups=4, user_group_noise=0.3,
+        )
+        ds = make_movielens_like(cfg, seed=2)
+        res = cluster_users(ds.ratings, 4, seed=0)
+
+        def purity(labels, truth):
+            total = 0
+            for c in np.unique(labels):
+                members = truth[labels == c]
+                total += np.bincount(members).max()
+            return total / len(truth)
+
+        p = purity(res.labels, ds.user_group)
+        rng = np.random.default_rng(1)
+        p_rand = purity(rng.integers(0, 4, size=90), ds.user_group)
+        assert p > p_rand + 0.15

@@ -1,0 +1,265 @@
+"""Tests for the online selection (Eqs. 10-11) and fusion (Eqs. 12-14)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    cluster_users,
+    fuse,
+    fusion_weights,
+    pair_similarity,
+    select_top_k_users,
+    smooth_ratings,
+    weighted_user_similarity,
+)
+from repro.core.local_matrix import LocalMatrix
+
+
+@pytest.fixture(scope="module")
+def smoothed_small(ml_small):
+    clusters = cluster_users(ml_small, 6, seed=0)
+    return smooth_ratings(ml_small, clusters.labels, 6)
+
+
+class TestWeightedUserSimilarity:
+    def test_perfect_match_near_one(self, smoothed_small):
+        """A candidate whose deviations align perfectly with the active
+        profile gets similarity 1 — exactly 1 when every weight is
+        equal, i.e. over items the candidate originally rated (Eq. 10's
+        asymmetric weighting caps mixed-provenance matches below 1 by
+        Cauchy-Schwarz)."""
+        cand = np.array([5])
+        items = np.nonzero(smoothed_small.observed_mask[5])[0][:6]
+        vals = smoothed_small.values[5, items]
+        dev = vals - smoothed_small.user_means[5]
+        sims = weighted_user_similarity(items, dev, cand, smoothed_small, 0.35)
+        assert sims[0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_mixed_provenance_match_below_one(self, smoothed_small):
+        """The Cauchy-Schwarz cap: identical deviations with unequal
+        weights score strictly below 1."""
+        cand = np.array([5])
+        obs = np.nonzero(smoothed_small.observed_mask[5])[0][:3]
+        smo = np.nonzero(~smoothed_small.observed_mask[5])[0][:3]
+        items = np.concatenate([obs, smo])
+        dev = smoothed_small.values[5, items] - smoothed_small.user_means[5]
+        if np.allclose(dev, 0):
+            pytest.skip("degenerate deviations for this fixture user")
+        sims = weighted_user_similarity(items, dev, cand, smoothed_small, 0.35)
+        assert sims[0] < 1.0
+
+    def test_empty_inputs_zero(self, smoothed_small):
+        out = weighted_user_similarity(
+            np.array([], dtype=int), np.array([]), np.array([1, 2]), smoothed_small, 0.35
+        )
+        assert np.allclose(out, 0.0)
+        out2 = weighted_user_similarity(
+            np.array([0]), np.array([1.0]), np.array([], dtype=int), smoothed_small, 0.35
+        )
+        assert out2.shape == (0,)
+
+    def test_epsilon_changes_result(self, smoothed_small):
+        items = np.array([0, 1, 2, 3, 4])
+        dev = np.array([1.0, -0.5, 0.2, 0.8, -1.0])
+        cand = np.arange(20)
+        a = weighted_user_similarity(items, dev, cand, smoothed_small, 0.1)
+        b = weighted_user_similarity(items, dev, cand, smoothed_small, 0.9)
+        assert not np.allclose(a, b)
+
+    def test_range(self, smoothed_small):
+        items = np.array([0, 1, 2, 3, 4])
+        dev = np.array([1.0, -0.5, 0.2, 0.8, -1.0])
+        sims = weighted_user_similarity(items, dev, np.arange(80), smoothed_small, 0.35)
+        assert sims.min() >= -1.0 and sims.max() <= 1.0
+
+    def test_epsilon_validated(self, smoothed_small):
+        with pytest.raises(ValueError):
+            weighted_user_similarity(
+                np.array([0]), np.array([1.0]), np.array([0]), smoothed_small, 1.5
+            )
+
+
+class TestSelectTopK:
+    def test_k_and_descending(self, smoothed_small):
+        items = np.array([0, 1, 2, 3, 4])
+        dev = np.array([1.0, -0.5, 0.2, 0.8, -1.0])
+        top = select_top_k_users(items, dev, np.arange(80), smoothed_small, k=10, epsilon=0.35)
+        assert len(top) == 10
+        assert (np.diff(top.similarities) <= 1e-12).all()
+        assert top.pool_size == 80
+
+    def test_positive_filter(self, smoothed_small):
+        items = np.array([0, 1, 2, 3, 4])
+        dev = np.array([1.0, -0.5, 0.2, 0.8, -1.0])
+        top = select_top_k_users(items, dev, np.arange(80), smoothed_small, k=80, epsilon=0.35)
+        assert (top.similarities > 0).all()
+
+    def test_all_negative_fallback(self, smoothed_small):
+        """When every candidate anticorrelates, selection still returns
+        k users with small positive weights."""
+        items = np.array([0, 1])
+        dev = np.array([1.0, -1.0])
+        # craft candidates by flipping: use min_sim=2 to force the fallback path
+        top = select_top_k_users(
+            items, dev, np.arange(10), smoothed_small, k=3, epsilon=0.35, min_sim=2.0
+        )
+        assert len(top) == 3
+        assert (top.similarities > 0).all()
+
+
+class TestFusionWeights:
+    @pytest.mark.parametrize("lam,delta", [(0.8, 0.1), (0.0, 0.0), (1.0, 1.0), (0.3, 0.7)])
+    def test_convex(self, lam, delta):
+        w = fusion_weights(lam, delta)
+        assert sum(w) == pytest.approx(1.0)
+        assert all(x >= 0 for x in w)
+
+    def test_paper_defaults(self):
+        w_sir, w_sur, w_suir = fusion_weights(0.8, 0.1)
+        assert w_sir == pytest.approx(0.18)
+        assert w_sur == pytest.approx(0.72)
+        assert w_suir == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fusion_weights(1.2, 0.1)
+
+
+class TestPairSimilarity:
+    def test_formula(self):
+        out = pair_similarity(np.array([0.6]), np.array([0.8]))
+        assert out[0, 0] == pytest.approx(0.48 / np.sqrt(0.36 + 0.64))
+
+    def test_shape(self):
+        out = pair_similarity(np.ones(5) * 0.5, np.ones(3) * 0.5)
+        assert out.shape == (3, 5)
+
+    def test_zero_pair_safe(self):
+        out = pair_similarity(np.array([0.0]), np.array([0.0]))
+        assert out[0, 0] == 0.0
+
+    def test_soft_minimum_property(self):
+        """The pair weight never exceeds min(s_i, s_u)."""
+        rng = np.random.default_rng(0)
+        si = rng.random(20)
+        su = rng.random(20)
+        out = pair_similarity(si, su)
+        cap = np.minimum(si[None, :], su[:, None])
+        assert (out <= cap + 1e-12).all()
+
+
+def _local(
+    item_sims, user_sims, ratings, weights, air, aiw, aur, auw, umeans, amean,
+    imeans=None, aimean=3.0, gmean=3.0,
+):
+    M = len(item_sims)
+    K = len(user_sims)
+    return LocalMatrix(
+        item_indices=np.arange(M),
+        item_sims=np.asarray(item_sims, dtype=float),
+        user_indices=np.arange(K),
+        user_sims=np.asarray(user_sims, dtype=float),
+        ratings=np.asarray(ratings, dtype=float),
+        weights=np.asarray(weights, dtype=float),
+        active_item_ratings=np.asarray(air, dtype=float),
+        active_item_weights=np.asarray(aiw, dtype=float),
+        active_user_ratings=np.asarray(aur, dtype=float),
+        active_user_weights=np.asarray(auw, dtype=float),
+        user_means=np.asarray(umeans, dtype=float),
+        active_user_mean=amean,
+        item_means=np.full(M, 3.0) if imeans is None else np.asarray(imeans, dtype=float),
+        active_item_mean=aimean,
+        global_mean=gmean,
+    )
+
+
+class TestFuse:
+    def test_hand_computed_sur(self):
+        """SUR' with one user: r̄_b + (r(u,a) − r̄_u)."""
+        local = _local(
+            item_sims=[0.5], user_sims=[1.0],
+            ratings=[[4.0]], weights=[[0.35]],
+            air=[5.0], aiw=[0.35], aur=[3.0], auw=[0.35],
+            umeans=[4.5], amean=3.0,
+        )
+        out = fuse(local, lam=1.0, delta=0.0)
+        assert out.value == pytest.approx(3.0 + (5.0 - 4.5))
+        assert out.sur_ok
+
+    def test_hand_computed_sir_unadjusted(self):
+        """Literal Eq. 12 SIR' = weighted average of the user's ratings."""
+        local = _local(
+            item_sims=[0.5, 1.0], user_sims=[1.0],
+            ratings=[[4.0, 2.0]], weights=[[0.35, 0.65]],
+            air=[5.0], aiw=[0.35],
+            aur=[4.0, 2.0], auw=[0.35, 0.35],
+            umeans=[3.0], amean=3.0,
+        )
+        out = fuse(local, lam=0.0, delta=0.0, adjust_biases=False)
+        expected = (0.35 * 0.5 * 4.0 + 0.35 * 1.0 * 2.0) / (0.35 * 0.5 + 0.35 * 1.0)
+        assert out.value == pytest.approx(expected)
+
+    def test_hand_computed_sir_adjusted(self):
+        local = _local(
+            item_sims=[1.0], user_sims=[1.0],
+            ratings=[[4.0]], weights=[[0.35]],
+            air=[5.0], aiw=[0.35],
+            aur=[4.0], auw=[0.35],
+            umeans=[3.0], amean=3.0,
+            imeans=[3.5], aimean=2.5,
+        )
+        out = fuse(local, lam=0.0, delta=0.0, adjust_biases=True)
+        # deviation (4.0 - 3.5) anchored at the active item's mean 2.5
+        assert out.value == pytest.approx(2.5 + 0.5)
+
+    def test_suir_only(self):
+        local = _local(
+            item_sims=[1.0], user_sims=[1.0],
+            ratings=[[4.0]], weights=[[0.65]],
+            air=[4.0], aiw=[0.65], aur=[3.0], auw=[0.35],
+            umeans=[3.0], amean=3.0,
+            imeans=[3.0], aimean=3.0, gmean=3.0,
+        )
+        out = fuse(local, lam=0.8, delta=1.0)
+        # adjusted SUIR': amean + (aimean − gmean) + (4 − 3 − 0) = 4.0
+        assert out.value == pytest.approx(4.0)
+        assert out.suir_ok
+
+    def test_fusion_is_convex_combination(self):
+        local = _local(
+            item_sims=[0.9, 0.4], user_sims=[0.7, 0.5],
+            ratings=[[4.0, 2.0], [3.0, 5.0]],
+            weights=[[0.35, 0.65], [0.65, 0.35]],
+            air=[4.5, 2.5], aiw=[0.35, 0.65],
+            aur=[4.0, 1.5], auw=[0.35, 0.65],
+            umeans=[3.5, 3.0], amean=3.2,
+        )
+        out = fuse(local, lam=0.8, delta=0.1)
+        lo = min(out.sir, out.sur, out.suir)
+        hi = max(out.sir, out.sur, out.suir)
+        assert lo - 1e-9 <= out.value <= hi + 1e-9
+
+    def test_degenerate_components_fall_back_to_mean(self):
+        local = _local(
+            item_sims=[0.0], user_sims=[0.0],
+            ratings=[[4.0]], weights=[[0.35]],
+            air=[4.0], aiw=[0.35], aur=[4.0], auw=[0.35],
+            umeans=[3.0], amean=2.7,
+        )
+        out = fuse(local, lam=0.8, delta=0.1)
+        assert not (out.sir_ok or out.sur_ok or out.suir_ok)
+        assert out.value == pytest.approx(2.7)
+
+    def test_negative_similarities_ignored(self):
+        local = _local(
+            item_sims=[-0.9, 0.5], user_sims=[0.6],
+            ratings=[[1.0, 4.0]], weights=[[0.35, 0.35]],
+            air=[4.0], aiw=[0.35],
+            aur=[1.0, 4.0], auw=[0.35, 0.35],
+            umeans=[3.0], amean=3.0,
+        )
+        out = fuse(local, lam=0.0, delta=0.0, adjust_biases=False)
+        # only the 0.5-similarity item participates
+        assert out.value == pytest.approx(4.0)

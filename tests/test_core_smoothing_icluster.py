@@ -1,0 +1,168 @@
+"""Tests for cluster smoothing (Eqs. 7-8) and the iCluster index (Eq. 9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import cluster_deviations, cluster_users, smooth_ratings
+from repro.core.icluster import build_icluster, user_cluster_affinity
+from repro.data import RatingMatrix
+
+
+@pytest.fixture(scope="module")
+def clustered(ml_small):
+    clusters = cluster_users(ml_small, 6, seed=0)
+    smoothed = smooth_ratings(ml_small, clusters.labels, 6)
+    return clusters, smoothed
+
+
+class TestClusterDeviations:
+    def test_hand_computed_case(self):
+        # Two users, one cluster.  User means: u0 = 4, u1 = 2.
+        rm = RatingMatrix(np.array([[5.0, 3.0, 0.0], [2.0, 0.0, 2.0]]))
+        dev, counts = cluster_deviations(rm, np.array([0, 0]), 1)
+        # Item 0 rated by both: ((5-4) + (2-2)) / 2 = 0.5
+        assert dev[0, 0] == pytest.approx(0.5)
+        # Item 1 rated by u0 only: (3-4)/1 = -1
+        assert dev[0, 1] == pytest.approx(-1.0)
+        # Item 2 rated by u1 only: (2-2)/1 = 0
+        assert dev[0, 2] == pytest.approx(0.0)
+        assert counts.tolist() == [[2.0, 1.0, 1.0]]
+
+    def test_unrated_item_gets_zero(self):
+        rm = RatingMatrix(np.array([[5.0, 0.0], [3.0, 0.0]]))
+        dev, counts = cluster_deviations(rm, np.array([0, 0]), 1)
+        assert dev[0, 1] == 0.0 and counts[0, 1] == 0.0
+
+    def test_label_validation(self, tiny_rm):
+        with pytest.raises(ValueError, match="labels"):
+            cluster_deviations(tiny_rm, np.array([0, 0, 0]), 1)
+        with pytest.raises(ValueError, match="out of range"):
+            cluster_deviations(tiny_rm, np.array([0, 0, 0, 5]), 2)
+
+    def test_shrinkage_scales_toward_zero(self, tiny_rm):
+        labels = np.zeros(4, dtype=int)
+        raw, counts = cluster_deviations(tiny_rm, labels, 1, shrinkage=0.0)
+        shrunk, _ = cluster_deviations(tiny_rm, labels, 1, shrinkage=2.0)
+        nz = raw != 0
+        assert (np.abs(shrunk[nz]) < np.abs(raw[nz])).all()
+        expected = raw * counts / (counts + 2.0)
+        assert np.allclose(shrunk, expected)
+
+    def test_negative_shrinkage_rejected(self, tiny_rm):
+        with pytest.raises(ValueError):
+            cluster_deviations(tiny_rm, np.zeros(4, dtype=int), 1, shrinkage=-1.0)
+
+
+class TestSmoothRatings:
+    def test_observed_entries_preserved(self, ml_small, clustered):
+        _, smoothed = clustered
+        assert np.allclose(
+            smoothed.values[ml_small.mask], ml_small.values[ml_small.mask]
+        )
+
+    def test_dense_output_in_scale(self, ml_small, clustered):
+        _, smoothed = clustered
+        lo, hi = ml_small.rating_scale
+        assert np.isfinite(smoothed.values).all()
+        assert smoothed.values.min() >= lo and smoothed.values.max() <= hi
+
+    def test_provenance_mask(self, ml_small, clustered):
+        _, smoothed = clustered
+        assert np.array_equal(smoothed.observed_mask, ml_small.mask)
+        assert smoothed.smoothed_fraction() == pytest.approx(1.0 - ml_small.density)
+
+    def test_smoothed_value_formula(self, ml_small, clustered):
+        clusters, smoothed = clustered
+        # pick an unrated cell and verify Eq. 7 by hand
+        u = 0
+        unrated = np.nonzero(~ml_small.mask[u])[0][0]
+        c = clusters.labels[u]
+        expected = smoothed.user_means[u] + smoothed.deviations[c, unrated]
+        lo, hi = ml_small.rating_scale
+        assert smoothed.values[u, unrated] == pytest.approx(np.clip(expected, lo, hi))
+
+    def test_fully_rated_matrix_unchanged(self):
+        rm = RatingMatrix(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        smoothed = smooth_ratings(rm, np.array([0, 0]), 1)
+        assert np.allclose(smoothed.values, rm.values)
+        assert smoothed.smoothed_fraction() == 0.0
+
+    def test_weights_eq11(self, clustered):
+        _, smoothed = clustered
+        w = smoothed.weights(0.35)
+        assert np.allclose(w[smoothed.observed_mask], 0.35)
+        assert np.allclose(w[~smoothed.observed_mask], 0.65)
+        with pytest.raises(ValueError):
+            smoothed.weights(1.2)
+
+
+class TestUserClusterAffinity:
+    def test_member_prefers_own_style_cluster(self):
+        """A user whose deviations exactly match a cluster's deviations
+        must have affinity 1 with it."""
+        dev = np.array([[1.0, -1.0, 0.5]])
+        counts = np.ones((1, 3))
+        user_vals = np.array([[4.0, 2.0, 3.5]])   # mean 3.1667? choose mean-consistent
+        # Use explicit mean so deviations are exactly (1, -1, 0.5) around 3.
+        aff = user_cluster_affinity(
+            user_vals, np.ones((1, 3), dtype=bool), np.array([3.0]), dev, counts
+        )
+        assert aff[0, 0] == pytest.approx(1.0)
+
+    def test_anti_style_negative(self):
+        dev = np.array([[1.0, -1.0]])
+        counts = np.ones((1, 2))
+        aff = user_cluster_affinity(
+            np.array([[2.0, 4.0]]), np.ones((1, 2), dtype=bool), np.array([3.0]),
+            dev, counts,
+        )
+        assert aff[0, 0] == pytest.approx(-1.0)
+
+    def test_no_common_items_zero(self):
+        dev = np.array([[1.0, 0.0]])
+        counts = np.array([[1.0, 0.0]])
+        aff = user_cluster_affinity(
+            np.array([[0.0, 4.0]]),
+            np.array([[False, True]]),
+            np.array([4.0]),
+            dev,
+            counts,
+        )
+        assert aff[0, 0] == 0.0
+
+
+class TestIClusterIndex:
+    def test_ranking_descends(self, ml_small, clustered):
+        _, smoothed = clustered
+        icl = build_icluster(smoothed, ml_small.mask, ml_small.values)
+        for u in (0, 10, 50):
+            affs = icl.affinity[u, icl.ranking[u]]
+            assert (np.diff(affs) <= 1e-12).all()
+
+    def test_members_partition(self, ml_small, clustered):
+        _, smoothed = clustered
+        icl = build_icluster(smoothed, ml_small.mask, ml_small.values)
+        total = sum(m.size for m in icl.cluster_members)
+        assert total == ml_small.n_users
+
+    def test_candidate_walk_collects_pool(self, ml_small, clustered):
+        _, smoothed = clustered
+        icl = build_icluster(smoothed, ml_small.mask, ml_small.values)
+        cand = icl.candidates_for_ranking(icl.ranking[0], pool_size=30)
+        assert cand.size >= 30
+        assert len(set(cand.tolist())) == cand.size  # no duplicates
+
+    def test_candidate_walk_respects_max_clusters(self, ml_small, clustered):
+        _, smoothed = clustered
+        icl = build_icluster(smoothed, ml_small.mask, ml_small.values)
+        first_cluster = int(icl.ranking[0][0])
+        cand = icl.candidates_for_ranking(icl.ranking[0], pool_size=10_000, max_clusters=1)
+        assert set(cand.tolist()) == set(icl.cluster_members[first_cluster].tolist())
+
+    def test_candidate_walk_validates_pool(self, ml_small, clustered):
+        _, smoothed = clustered
+        icl = build_icluster(smoothed, ml_small.mask, ml_small.values)
+        with pytest.raises(ValueError):
+            icl.candidates_for_ranking(icl.ranking[0], pool_size=0)

@@ -1,0 +1,91 @@
+"""Tests for rating-matrix persistence (npz + triplet CSV)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.io import load_matrix, load_triplets, save_matrix, save_triplets
+
+
+class TestNpzRoundtrip:
+    def test_matrix_roundtrip(self, tiny_rm, tmp_path):
+        path = str(tmp_path / "m.npz")
+        save_matrix(tiny_rm, path)
+        loaded, times = load_matrix(path)
+        assert loaded == tiny_rm
+        assert times is None
+
+    def test_with_timestamps(self, tiny_rm, tmp_path):
+        path = str(tmp_path / "m.npz")
+        stamps = np.arange(20, dtype=float).reshape(4, 5)
+        save_matrix(tiny_rm, path, timestamps=stamps)
+        loaded, times = load_matrix(path)
+        assert loaded == tiny_rm
+        assert np.array_equal(times, stamps)
+
+    def test_rating_scale_preserved(self, tmp_path):
+        from repro.data import RatingMatrix
+
+        rm = RatingMatrix(np.array([[7.0, 0.0]]), rating_scale=(1.0, 10.0))
+        path = str(tmp_path / "m.npz")
+        save_matrix(rm, path)
+        loaded, _ = load_matrix(path)
+        assert loaded.rating_scale == (1.0, 10.0)
+
+    def test_timestamp_shape_validated(self, tiny_rm, tmp_path):
+        with pytest.raises(ValueError, match="shape"):
+            save_matrix(tiny_rm, str(tmp_path / "m.npz"), timestamps=np.zeros((2, 2)))
+
+    def test_version_check(self, tiny_rm, tmp_path):
+        import json
+
+        path = str(tmp_path / "m.npz")
+        save_matrix(tiny_rm, path)
+        with np.load(path, allow_pickle=False) as archive:
+            data = {k: archive[k] for k in archive.files}
+        meta = json.loads(str(data["meta"]))
+        meta["format_version"] = 99
+        data["meta"] = json.dumps(meta)
+        bad = str(tmp_path / "bad.npz")
+        np.savez_compressed(bad, **data)
+        with pytest.raises(ValueError, match="unsupported"):
+            load_matrix(bad)
+
+
+class TestTripletsRoundtrip:
+    def test_roundtrip(self, tiny_rm, tmp_path):
+        path = str(tmp_path / "r.csv")
+        n = save_triplets(tiny_rm, path)
+        assert n == tiny_rm.n_ratings
+        loaded, times = load_triplets(path, n_users=4, n_items=5)
+        assert loaded == tiny_rm
+        assert times is None
+
+    def test_roundtrip_with_timestamps(self, tiny_rm, tmp_path):
+        path = str(tmp_path / "r.csv")
+        stamps = np.zeros(tiny_rm.shape)
+        stamps[tiny_rm.mask] = np.arange(tiny_rm.n_ratings, dtype=float) + 1.0
+        save_triplets(tiny_rm, path, timestamps=stamps)
+        loaded, times = load_triplets(path, n_users=4, n_items=5)
+        assert loaded == tiny_rm
+        assert np.allclose(times[tiny_rm.mask], stamps[tiny_rm.mask])
+
+    def test_headerless(self, tiny_rm, tmp_path):
+        path = str(tmp_path / "r.csv")
+        save_triplets(tiny_rm, path, header=False)
+        loaded, _ = load_triplets(path, n_users=4, n_items=5)
+        assert loaded == tiny_rm
+
+    def test_interoperates_with_header_detection(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("user,item,rating\n0,0,4.0\n1,1,2.0\n")
+        loaded, _ = load_triplets(str(path))
+        assert loaded.n_ratings == 2
+        assert loaded.values[0, 0] == 4.0
+
+    def test_malformed_row(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("0,0\n")
+        with pytest.raises(ValueError, match="columns"):
+            load_triplets(str(path))

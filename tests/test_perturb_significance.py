@@ -1,0 +1,181 @@
+"""Tests for failure injection (repro.data.perturb) and statistical
+comparison (repro.eval.significance), including robustness checks of
+the recommenders under injected failures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import MeanPredictor, UserBasedCF
+from repro.core import CFSF
+from repro.data import (
+    add_cold_items,
+    add_cold_users,
+    add_noise_ratings,
+    drop_ratings,
+    shill_items,
+)
+from repro.eval import bootstrap_mae_ci, mae, paired_comparison
+
+
+class TestDropRatings:
+    def test_fraction_removed(self, ml_small):
+        out = drop_ratings(ml_small, 0.5, seed=0)
+        assert out.n_ratings < ml_small.n_ratings * 0.6
+        assert out.n_ratings > 0
+
+    def test_keeps_min_per_user(self, ml_small):
+        out = drop_ratings(ml_small, 0.99, seed=0, keep_min_per_user=2)
+        assert out.user_counts().min() >= 2
+
+    def test_survivors_unchanged(self, ml_small):
+        out = drop_ratings(ml_small, 0.3, seed=0)
+        kept = out.mask
+        assert np.allclose(out.values[kept], ml_small.values[kept])
+
+    def test_zero_fraction_identity(self, ml_small):
+        out = drop_ratings(ml_small, 0.0, seed=0)
+        assert out == ml_small
+
+
+class TestNoiseRatings:
+    def test_mask_unchanged_values_bounded(self, ml_small):
+        out, corrupted = add_noise_ratings(ml_small, 0.2, seed=0)
+        assert np.array_equal(out.mask, ml_small.mask)
+        lo, hi = ml_small.rating_scale
+        obs = out.values[out.mask]
+        assert obs.min() >= lo and obs.max() <= hi
+
+    def test_corruption_count(self, ml_small):
+        _, corrupted = add_noise_ratings(ml_small, 0.25, seed=0)
+        expected = round(ml_small.n_ratings * 0.25)
+        assert corrupted.sum() == expected
+
+    def test_uncorrupted_preserved(self, ml_small):
+        out, corrupted = add_noise_ratings(ml_small, 0.25, seed=0)
+        untouched = ml_small.mask & ~corrupted
+        assert np.allclose(out.values[untouched], ml_small.values[untouched])
+
+
+class TestColdEntities:
+    def test_cold_items_shape(self, ml_small):
+        out = add_cold_items(ml_small, 7)
+        assert out.n_items == ml_small.n_items + 7
+        assert out.item_counts()[-7:].sum() == 0
+
+    def test_cold_users_shape(self, ml_small):
+        out = add_cold_users(ml_small, 4)
+        assert out.n_users == ml_small.n_users + 4
+        assert out.user_counts()[-4:].sum() == 0
+
+
+class TestShilling:
+    def test_shill_rows_appended(self, ml_small):
+        out = shill_items(ml_small, target_item=3, n_shills=10, seed=0)
+        assert out.n_users == ml_small.n_users + 10
+        assert (out.values[-10:, 3] == ml_small.rating_scale[1]).all()
+
+    def test_camouflage_present(self, ml_small):
+        out = shill_items(ml_small, target_item=3, n_shills=5, camouflage_items=8, seed=0)
+        # each shill rates the target plus up to 8 popular items
+        counts = out.user_counts()[-5:]
+        assert (counts > 1).all() and (counts <= 9).all()
+
+    def test_invalid_target(self, ml_small):
+        with pytest.raises(ValueError):
+            shill_items(ml_small, target_item=10_000, n_shills=3)
+
+
+class TestRobustnessUnderFailures:
+    """Every model must stay finite/in-scale under each corruption and
+    degrade gracefully (not collapse to worse-than-global-mean)."""
+
+    @pytest.mark.parametrize("factory", [
+        lambda: CFSF(n_clusters=8, top_m_items=30, top_k_users=10),
+        lambda: UserBasedCF(),
+        lambda: MeanPredictor("user_item"),
+    ])
+    def test_sparsified_training(self, split_small, factory):
+        sparse_train = drop_ratings(split_small.train, 0.5, seed=1)
+        users, items, truth = split_small.targets_arrays()
+        model = factory().fit(sparse_train)
+        preds = model.predict_many(split_small.given, users, items)
+        lo, hi = split_small.train.rating_scale
+        assert np.isfinite(preds).all()
+        assert preds.min() >= lo and preds.max() <= hi
+        # graceful: at most modest degradation vs the global mean floor
+        m_gm = mae(truth, np.full(truth.shape, sparse_train.global_mean()))
+        assert mae(truth, preds) < m_gm + 0.05
+
+    def test_cold_item_queries(self, split_small):
+        """Queries against never-rated items must not crash or NaN."""
+        train = add_cold_items(split_small.train, 3)
+        from repro.data import RatingMatrix
+
+        given = RatingMatrix(
+            np.hstack([split_small.given.values, np.zeros((split_small.given.n_users, 3))]),
+            np.hstack([split_small.given.mask,
+                       np.zeros((split_small.given.n_users, 3), dtype=bool)]),
+        )
+        model = CFSF(n_clusters=8, top_m_items=30, top_k_users=10).fit(train)
+        cold = np.arange(train.n_items - 3, train.n_items)
+        preds = model.predict_many(given, np.zeros(3, dtype=int), cold)
+        assert np.isfinite(preds).all()
+
+    def test_noise_degrades_but_not_catastrophically(self, split_small):
+        users, items, truth = split_small.targets_arrays()
+        clean = CFSF(n_clusters=8, top_m_items=30, top_k_users=10).fit(split_small.train)
+        m_clean = mae(truth, clean.predict_many(split_small.given, users, items))
+        noisy_train, _ = add_noise_ratings(split_small.train, 0.3, seed=2)
+        noisy = CFSF(n_clusters=8, top_m_items=30, top_k_users=10).fit(noisy_train)
+        m_noisy = mae(truth, noisy.predict_many(split_small.given, users, items))
+        assert m_noisy > m_clean          # noise hurts...
+        assert m_noisy < m_clean + 0.25   # ...but does not explode
+
+
+class TestPairedComparison:
+    def test_detects_clear_winner(self, rng):
+        truth = rng.uniform(1, 5, 400)
+        good = truth + rng.normal(0, 0.3, 400)
+        bad = truth + rng.normal(0, 1.0, 400)
+        res = paired_comparison(truth, good, bad)
+        assert res.a_wins
+        assert res.significant()
+        assert res.n_a_better > res.n_b_better
+
+    def test_identical_predictions_not_significant(self, rng):
+        truth = rng.uniform(1, 5, 100)
+        preds = truth + rng.normal(0, 0.5, 100)
+        res = paired_comparison(truth, preds, preds.copy())
+        assert res.mean_diff == 0.0
+        assert not res.significant()
+        assert res.n_ties == 100
+
+    def test_shape_checks(self):
+        with pytest.raises(ValueError):
+            paired_comparison(np.zeros(3), np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            paired_comparison(np.zeros(1), np.zeros(1), np.zeros(1))
+
+
+class TestBootstrapCI:
+    def test_interval_contains_point(self, rng):
+        truth = rng.uniform(1, 5, 300)
+        preds = truth + rng.normal(0, 0.5, 300)
+        point, low, high = bootstrap_mae_ci(truth, preds, seed=0)
+        assert low <= point <= high
+        assert high - low < 0.2
+
+    def test_deterministic_by_seed(self, rng):
+        truth = rng.uniform(1, 5, 100)
+        preds = truth + rng.normal(0, 0.5, 100)
+        a = bootstrap_mae_ci(truth, preds, seed=7)
+        b = bootstrap_mae_ci(truth, preds, seed=7)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mae_ci(np.array([1.0]), np.array([1.0]), confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_mae_ci(np.array([]), np.array([]))

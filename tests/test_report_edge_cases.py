@@ -1,0 +1,81 @@
+"""Edge-case tests for report formatting and ascii plotting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import ascii_plot, format_paper_table, format_table
+
+
+class TestFormatTableEdges:
+    def test_single_cell(self):
+        out = format_table(["x"], [[1.0]])
+        assert "1.000" in out
+
+    def test_bool_not_formatted_as_float(self):
+        out = format_table(["ok"], [[True]])
+        assert "True" in out
+
+    def test_custom_float_fmt(self):
+        out = format_table(["x"], [[0.123456]], float_fmt="{:.5f}")
+        assert "0.12346" in out
+
+    def test_wide_headers_align(self):
+        out = format_table(["very long header", "b"], [[1, 2]])
+        lines = out.splitlines()
+        assert len(lines[0]) >= len("very long header")
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and len(out.splitlines()) == 2
+
+    def test_none_rendered(self):
+        out = format_table(["a"], [[None]])
+        assert "None" in out
+
+
+class TestAsciiPlotEdges:
+    def test_single_point(self):
+        out = ascii_plot([1.0], {"s": [0.5]})
+        assert "0.500" in out
+
+    def test_two_identical_x(self):
+        out = ascii_plot([2.0, 2.0], {"s": [0.4, 0.6]})
+        assert "0.600" in out
+
+    def test_many_series_marker_cycle(self):
+        series = {f"s{i}": [float(i), float(i + 1)] for i in range(10)}
+        out = ascii_plot([0.0, 1.0], series)
+        # 10 series with 8 markers: cycle reuses markers without crashing
+        assert "s9" in out
+
+    def test_custom_dimensions(self):
+        out = ascii_plot([0, 1], {"s": [0.1, 0.9]}, width=20, height=5)
+        body_lines = [l for l in out.splitlines() if "│" in l or "┘" in l]
+        assert len(body_lines) == 5
+
+    def test_negative_values(self):
+        out = ascii_plot([0, 1], {"s": [-1.0, 1.0]})
+        assert "-1.000" in out
+
+
+class TestFormatPaperTableEdges:
+    def test_multiple_groups_blank_repeats(self):
+        results = {
+            ("A/Given5", "m1"): 0.5,
+            ("B/Given5", "m1"): 0.6,
+        }
+        out = format_paper_table(
+            results, training_sets=("A", "B"), methods=("m1",), given_labels=("Given5",)
+        )
+        assert "A" in out and "B" in out
+
+    def test_method_order_preserved(self):
+        results = {("A/Given5", "z"): 0.1, ("A/Given5", "a"): 0.2}
+        out = format_paper_table(
+            results, training_sets=("A",), methods=("z", "a"), given_labels=("Given5",)
+        )
+        z_pos = out.index(" z ") if " z " in out else out.index("z")
+        a_pos = out.rindex("a ")
+        assert z_pos < a_pos

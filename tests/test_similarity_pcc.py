@@ -1,0 +1,152 @@
+"""Tests for the masked PCC kernels, including brute-force cross-checks."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.similarity import item_pcc, pairwise_pcc, pcc_to_rows, user_pcc
+
+
+def brute_force_corated(values, mask, a, b, min_overlap=2):
+    """Reference Pearson over the co-rated subset."""
+    co = mask[:, a] & mask[:, b]
+    if co.sum() < min_overlap:
+        return 0.0
+    x, y = values[co, a], values[co, b]
+    if x.std() == 0 or y.std() == 0:
+        return 0.0
+    return float(np.clip(np.corrcoef(x, y)[0, 1], -1, 1))
+
+
+def brute_force_global(values, mask, a, b, min_overlap=2):
+    """Reference Eq. 5: deviations from the overall column means,
+    summed over the co-rated rows."""
+    co = mask[:, a] & mask[:, b]
+    if co.sum() < min_overlap:
+        return 0.0
+    mean_a = values[mask[:, a], a].mean()
+    mean_b = values[mask[:, b], b].mean()
+    xa = values[co, a] - mean_a
+    xb = values[co, b] - mean_b
+    den = np.sqrt((xa**2).sum()) * np.sqrt((xb**2).sum())
+    if den == 0:
+        return 0.0
+    return float(np.clip((xa * xb).sum() / den, -1, 1))
+
+
+@pytest.fixture(scope="module")
+def masked_case():
+    rng = np.random.default_rng(17)
+    values = rng.integers(1, 6, size=(30, 12)).astype(float)
+    mask = rng.random((30, 12)) < 0.6
+    return values, mask
+
+
+class TestAgainstBruteForce:
+    def test_corated_centering_exact(self, masked_case):
+        values, mask = masked_case
+        sim = pairwise_pcc(values, mask, centering="corated_mean")
+        for a, b in itertools.combinations(range(12), 2):
+            ref = brute_force_corated(values, mask, a, b)
+            assert sim[a, b] == pytest.approx(ref, abs=1e-10), (a, b)
+
+    def test_global_centering_exact(self, masked_case):
+        values, mask = masked_case
+        sim = pairwise_pcc(values, mask, centering="global_mean")
+        for a, b in itertools.combinations(range(12), 2):
+            ref = brute_force_global(values, mask, a, b)
+            assert sim[a, b] == pytest.approx(ref, abs=1e-10), (a, b)
+
+    def test_pcc_to_rows_matches_pairwise(self, masked_case):
+        values, mask = masked_case
+        # Rows of the transposed problem == columns of the original.
+        full = pairwise_pcc(values, mask, centering="global_mean")
+        rows = pcc_to_rows(
+            np.ascontiguousarray(values.T),
+            np.ascontiguousarray(mask.T),
+            np.ascontiguousarray(values.T),
+            np.ascontiguousarray(mask.T),
+            centering="global_mean",
+        )
+        off = ~np.eye(12, dtype=bool)
+        assert np.allclose(full[off], rows[off], atol=1e-10)
+
+
+class TestStructuralProperties:
+    @pytest.mark.parametrize("centering", ["global_mean", "corated_mean"])
+    def test_symmetry(self, masked_case, centering):
+        values, mask = masked_case
+        sim = pairwise_pcc(values, mask, centering=centering)
+        assert np.allclose(sim, sim.T)
+
+    @pytest.mark.parametrize("centering", ["global_mean", "corated_mean"])
+    def test_range_and_diagonal(self, masked_case, centering):
+        values, mask = masked_case
+        sim = pairwise_pcc(values, mask, centering=centering)
+        assert sim.min() >= -1.0 and sim.max() <= 1.0
+        assert np.allclose(np.diag(sim), 1.0)
+
+    def test_min_overlap_zeroes_pairs(self, masked_case):
+        values, mask = masked_case
+        sim = pairwise_pcc(values, mask, min_overlap=100)
+        off = ~np.eye(12, dtype=bool)
+        assert (sim[off] == 0.0).all()
+
+    def test_identical_columns_have_sim_one(self):
+        values = np.tile(np.array([[1.0], [3.0], [5.0], [2.0]]), (1, 2))
+        mask = np.ones((4, 2), dtype=bool)
+        sim = pairwise_pcc(values, mask, centering="corated_mean")
+        assert sim[0, 1] == pytest.approx(1.0)
+
+    def test_anticorrelated_columns(self):
+        values = np.array([[1.0, 5.0], [2.0, 4.0], [5.0, 1.0], [4.0, 2.0]])
+        mask = np.ones((4, 2), dtype=bool)
+        sim = pairwise_pcc(values, mask, centering="corated_mean")
+        assert sim[0, 1] == pytest.approx(-1.0)
+
+    def test_constant_column_gives_zero(self):
+        values = np.array([[3.0, 1.0], [3.0, 4.0], [3.0, 2.0]])
+        mask = np.ones((3, 2), dtype=bool)
+        sim = pairwise_pcc(values, mask, centering="corated_mean")
+        assert sim[0, 1] == 0.0
+
+    def test_empty_overlap_gives_zero(self):
+        values = np.array([[3.0, 0.0], [0.0, 4.0]])
+        mask = values != 0
+        sim = pairwise_pcc(values, mask)
+        assert sim[0, 1] == 0.0
+
+
+class TestConvenienceWrappers:
+    def test_item_pcc_is_column_pcc(self, masked_case):
+        values, mask = masked_case
+        assert np.allclose(item_pcc(values, mask), pairwise_pcc(values, mask))
+
+    def test_user_pcc_is_row_pcc(self, masked_case):
+        values, mask = masked_case
+        expected = pairwise_pcc(
+            np.ascontiguousarray(values.T), np.ascontiguousarray(mask.T)
+        )
+        assert np.allclose(user_pcc(values, mask), expected)
+
+
+class TestPccToRows:
+    def test_shape(self, masked_case):
+        values, mask = masked_case
+        out = pcc_to_rows(values[:5], mask[:5], values, mask)
+        assert out.shape == (5, 30)
+
+    def test_item_axis_mismatch(self, masked_case):
+        values, mask = masked_case
+        with pytest.raises(ValueError, match="items"):
+            pcc_to_rows(values[:, :5], mask[:, :5], values, mask)
+
+    def test_self_row_similarity_is_one(self, masked_case):
+        values, mask = masked_case
+        out = pcc_to_rows(
+            values[:1], mask[:1], values[:1], mask[:1], centering="corated_mean"
+        )
+        assert out[0, 0] == pytest.approx(1.0)

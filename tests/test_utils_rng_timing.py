@@ -1,0 +1,83 @@
+"""Unit tests for repro.utils.rng and repro.utils.timing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_seeds
+from repro.utils.timing import Stopwatch, time_call
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = as_generator(42).integers(0, 100, 10)
+        b = as_generator(42).integers(0, 100, 10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_numpy_int_accepted(self):
+        assert isinstance(as_generator(np.int64(3)), np.random.Generator)
+
+    def test_rejects_bool_and_str(self):
+        with pytest.raises(TypeError):
+            as_generator(True)
+        with pytest.raises(TypeError):
+            as_generator("7")
+
+
+class TestSpawnSeeds:
+    def test_count_and_determinism(self):
+        assert spawn_seeds(0, 5) == spawn_seeds(0, 5)
+        assert len(spawn_seeds(0, 5)) == 5
+
+    def test_distinct(self):
+        seeds = spawn_seeds(0, 16)
+        assert len(set(seeds)) == 16
+
+    def test_zero_ok_negative_raises(self):
+        assert spawn_seeds(0, 0) == []
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+    def test_shared_generator_advances(self):
+        g = np.random.default_rng(0)
+        a = spawn_seeds(g, 3)
+        b = spawn_seeds(g, 3)
+        assert a != b
+
+
+class TestStopwatch:
+    def test_accumulates_laps(self):
+        sw = Stopwatch()
+        for _ in range(3):
+            with sw:
+                sum(range(100))
+        assert sw.laps == 3 and sw.elapsed > 0.0
+        assert sw.mean == pytest.approx(sw.elapsed / 3)
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        sw.reset()
+        assert sw.laps == 0 and sw.elapsed == 0.0 and sw.mean == 0.0
+
+
+class TestTimeCall:
+    def test_returns_value_and_times(self):
+        res = time_call(lambda a, b: a + b, 2, b=3, repeats=4)
+        assert res.value == 5
+        assert len(res.seconds) == 4
+        assert res.best <= res.mean <= res.total
+        assert res.total == pytest.approx(sum(res.seconds))
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            time_call(lambda: None, repeats=0)

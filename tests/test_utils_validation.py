@@ -1,0 +1,123 @@
+"""Unit tests for repro.utils.validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_fraction,
+    check_mask,
+    check_positive_int,
+    check_rating_matrix,
+    check_same_shape,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes_silently(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+
+class TestCheckPositiveInt:
+    def test_accepts_python_int(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_accepts_numpy_int(self):
+        assert check_positive_int(np.int64(5), "x") == 5
+
+    def test_returns_python_int(self):
+        assert type(check_positive_int(np.int32(2), "x")) is int
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError, match="x must be an int"):
+            check_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.0, "x")
+
+    def test_rejects_below_minimum(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            check_positive_int(0, "x")
+
+    def test_custom_minimum(self):
+        assert check_positive_int(0, "x", minimum=0) == 0
+        with pytest.raises(ValueError):
+            check_positive_int(-1, "x", minimum=0)
+
+
+class TestCheckFraction:
+    def test_accepts_endpoints_when_closed(self):
+        assert check_fraction(0.0, "f") == 0.0
+        assert check_fraction(1.0, "f") == 1.0
+
+    def test_rejects_endpoints_when_open(self):
+        with pytest.raises(ValueError):
+            check_fraction(0.0, "f", closed=False)
+        with pytest.raises(ValueError):
+            check_fraction(1.0, "f", closed=False)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            check_fraction(1.5, "f")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_fraction(float("nan"), "f")
+
+    def test_rejects_bool_and_str(self):
+        with pytest.raises(TypeError):
+            check_fraction(True, "f")
+        with pytest.raises(TypeError):
+            check_fraction("0.5", "f")
+
+    def test_accepts_int_in_range(self):
+        assert check_fraction(1, "f") == 1.0
+
+
+class TestCheckRatingMatrix:
+    def test_converts_to_contiguous_float64(self):
+        arr = check_rating_matrix([[1, 2], [3, 4]])
+        assert arr.dtype == np.float64
+        assert arr.flags["C_CONTIGUOUS"]
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_rating_matrix(np.zeros(3))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            check_rating_matrix(np.zeros((0, 4)))
+
+
+class TestCheckMask:
+    def test_accepts_bool(self):
+        m = check_mask(np.ones((2, 2), dtype=bool), (2, 2))
+        assert m.dtype == np.bool_
+
+    def test_accepts_01_ints(self):
+        m = check_mask(np.array([[0, 1], [1, 0]]), (2, 2))
+        assert m.dtype == np.bool_
+
+    def test_rejects_other_values(self):
+        with pytest.raises(ValueError, match="boolean"):
+            check_mask(np.array([[0, 2], [1, 0]]), (2, 2))
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            check_mask(np.ones((2, 3), dtype=bool), (2, 2))
+
+
+class TestCheckSameShape:
+    def test_pass(self):
+        check_same_shape(np.zeros(3), np.ones(3))
+
+    def test_fail(self):
+        with pytest.raises(ValueError, match="does not match"):
+            check_same_shape(np.zeros(3), np.ones(4), ("a", "b"))
