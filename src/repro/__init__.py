@@ -17,7 +17,11 @@ Public API highlights
 :mod:`repro.eval`
     MAE metric, protocol driver, table reporting.
 :mod:`repro.parallel`
-    Shared-memory multi-process prediction executor.
+    Shared-memory multi-process prediction executor with worker-crash
+    recovery.
+:mod:`repro.serving`
+    Fault-tolerant serving layer: fallback chain, circuit breakers,
+    deadlines, hot snapshot reload, fault-injection harness.
 """
 
 from repro.baselines import (
@@ -53,6 +57,7 @@ from repro.data import (
 )
 from repro.eval import evaluate, mae, rmse
 from repro.parallel import ParallelPredictor
+from repro.serving import PredictionService, ServingResult
 
 __version__ = "1.0.0"
 
@@ -68,9 +73,11 @@ __all__ = [
     "MeanPredictor",
     "ParallelPredictor",
     "PersonalityDiagnosis",
+    "PredictionService",
     "RatingMatrix",
     "Recommender",
     "SCBPCC",
+    "ServingResult",
     "SimilarityFusion",
     "SlopeOne",
     "SyntheticConfig",

@@ -12,6 +12,8 @@ can be regenerated without writing Python:
 ``recommend``      Top-N items for one active user.
 ``crossval``       k-fold cross-validated MAE with variance.
 ``tune``           Grid-search CFSF online parameters.
+``serve``          Fault-tolerant batch serving through the fallback
+                   chain (optionally with injected faults).
 =================  ====================================================
 
 Every command accepts ``--seed`` (default 0) and ``--train-sizes`` /
@@ -22,7 +24,9 @@ the full flags.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import tempfile
 from typing import Sequence
 
 from repro.baselines import (
@@ -34,17 +38,25 @@ from repro.baselines import (
     SimilarityFusion,
     UserBasedCF,
 )
-from repro.core import CFSF, CFSFConfig, recommend_top_n
+from repro.core import CFSF, CFSFConfig, recommend_top_n, save_model
 from repro.data import dataset_source, default_dataset, make_split
 from repro.eval import (
     ascii_plot,
     cross_validate,
     format_paper_table,
     format_table,
+    mae,
     run_grid,
     scalability_sweep,
     sweep_cfsf_parameter,
     tune_cfsf,
+)
+from repro.serving import PredictionService
+from repro.serving.faults import (
+    FlakyRecommender,
+    SlowRecommender,
+    corrupt_snapshot,
+    poison_given,
 )
 
 __all__ = ["main", "build_parser"]
@@ -129,6 +141,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=10, help="list length")
     p.add_argument("--train-size", type=int, default=300)
     p.add_argument("--given-n", type=int, default=10)
+
+    p = sub.add_parser(
+        "serve", help="fault-tolerant batch serving through the fallback chain"
+    )
+    p.add_argument("--train-size", type=int, default=300)
+    p.add_argument("--given-n", type=int, default=10)
+    p.add_argument(
+        "--requests", type=int, default=400, help="number of predictions to serve"
+    )
+    p.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="latency budget for the batch; overruns degrade to cheap stages",
+    )
+    p.add_argument(
+        "--snapshot", default=None,
+        help="round-trip the model through this snapshot path before serving",
+    )
+    p.add_argument(
+        "--inject",
+        choices=["none", "stage-failure", "latency", "poison-given", "corrupt-snapshot"],
+        default="none",
+        help="fault to inject before serving (demonstrates degradation)",
+    )
     return parser
 
 
@@ -258,6 +293,66 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    ratings = default_dataset(seed=args.seed)
+    split = make_split(
+        ratings, n_train_users=args.train_size, given_n=args.given_n, seed=args.seed
+    )
+    model = CFSF().fit(split.train)
+
+    snapshot = args.snapshot
+    if args.inject == "corrupt-snapshot" and snapshot is None:
+        snapshot = os.path.join(tempfile.mkdtemp(prefix="repro-serve-"), "model.npz")
+    if snapshot is not None:
+        save_model(model, snapshot)
+        print(f"snapshot saved to {snapshot}")
+
+    primary = model
+    if args.inject == "stage-failure":
+        primary = FlakyRecommender(model, fail_times=3)
+        print("injected: primary stage fails its first 3 calls")
+    elif args.inject == "latency":
+        primary = SlowRecommender(model, delay=0.02)
+        print("injected: +20ms latency per primary-stage call")
+
+    service = PredictionService(primary, snapshot_path=snapshot)
+
+    if args.inject == "corrupt-snapshot":
+        corrupt_snapshot(snapshot)
+        ok = service.reload()
+        status = "reloaded" if ok else "kept last-known-good model"
+        print(
+            f"injected: snapshot corrupted on disk -> reload {status} "
+            f"({type(service.last_reload_error).__name__})"
+        )
+
+    given = split.given
+    if args.inject == "poison-given":
+        given = poison_given(given, [(0, 0, float("nan")), (1, 1, 99.0)])
+        print("injected: NaN and out-of-range ratings in the given matrix")
+
+    users, items, truth = split.targets_arrays()
+    n = min(max(args.requests, 1), users.size)
+    users, items, truth = users[:n], items[:n], truth[:n]
+    deadline = None if args.deadline_ms is None else args.deadline_ms / 1000.0
+    result = service.predict_many(given, users, items, deadline=deadline)
+
+    rows = [[name, count] for name, count in result.level_counts().items()]
+    print()
+    print(format_table(["stage", "requests"], rows,
+                       title="Requests served per fallback stage"))
+    print(
+        f"\nrequests: {len(result)}  degraded: {result.degraded_fraction:.1%}  "
+        f"invalid: {int(result.invalid.sum())}  "
+        f"deadline deferred: {int(result.deadline_deferred.sum())}  "
+        f"elapsed: {result.elapsed * 1000.0:.1f}ms"
+    )
+    print(f"MAE over served batch: {mae(truth, result.predictions):.4f}")
+    states = ", ".join(f"{k}={v}" for k, v in service.breaker_states().items())
+    print(f"breakers: {states}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -277,6 +372,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_tune(args)
     if args.command == "recommend":
         return _cmd_recommend(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

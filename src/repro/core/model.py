@@ -53,6 +53,7 @@ from repro.core.local_matrix import LocalMatrix, build_local_matrix
 from repro.core.selection import TopKUsers, select_top_k_users
 from repro.core.smoothing import SmoothedRatings, smooth_ratings
 from repro.data.matrix import RatingMatrix
+from repro.serving.errors import InvalidRequestError
 from repro.utils.cache import LRUCache
 
 __all__ = ["CFSF", "ActiveUserState"]
@@ -150,8 +151,41 @@ class CFSF(Recommender):
         """Cheap identity for a given-matrix, for the cross-call cache."""
         return hash(given)
 
+    def _validate_given(self, given: RatingMatrix) -> None:
+        """Reject NaN / out-of-scale given ratings at the boundary.
+
+        Historically a poisoned given matrix (possible when an
+        ingestion layer bypasses :class:`RatingMatrix` validation)
+        failed deep inside :meth:`_fuse_batch` with an opaque NaN
+        result; now it is rejected here with a typed
+        :class:`~repro.serving.errors.InvalidRequestError`.  The scan
+        is O(P·Q) so its verdict is memoised per given-fingerprint in
+        the online cache.
+        """
+        key = ("given_valid", self._given_fingerprint(given))
+        if self._cache.get(key) is not None:
+            return
+        observed = given.values[given.mask]
+        if observed.size:
+            if not np.isfinite(observed).all():
+                raise InvalidRequestError(
+                    "given matrix contains non-finite observed ratings"
+                )
+            lo, hi = self._require_fitted().rating_scale
+            omin, omax = float(observed.min()), float(observed.max())
+            if omin < lo or omax > hi:
+                raise InvalidRequestError(
+                    f"given ratings lie in [{omin:g}, {omax:g}], outside the "
+                    f"trained scale [{lo:g}, {hi:g}]"
+                )
+        self._cache.put(key, True)
+
     def active_user_state(self, given: RatingMatrix, user: int) -> ActiveUserState:
         """Fold one active user in and select their top-K users (cached)."""
+        if not 0 <= int(user) < given.n_users:
+            raise InvalidRequestError(
+                f"user {user} out of range [0, {given.n_users})"
+            )
         key = (self._given_fingerprint(given), int(user))
         state = self._cache.get(key)
         if state is not None:
@@ -223,7 +257,10 @@ class CFSF(Recommender):
         """Construct the local M x K matrix for one request."""
         train, gis, smoothed, _ = self._require_online()
         if not 0 <= item < train.n_items:
-            raise ValueError(f"item {item} out of range [0, {train.n_items})")
+            raise InvalidRequestError(
+                f"item {item} out of range [0, {train.n_items})"
+            )
+        self._validate_given(given)
         state = self.active_user_state(given, user)
         item_idx, item_sims = gis.top_m(item, self.config.top_m_items)
         return build_local_matrix(
@@ -265,6 +302,7 @@ class CFSF(Recommender):
         users, items = self._check_request(given, users, items)
         if users.size == 0:
             return np.empty(0, dtype=np.float64)
+        self._validate_given(given)
         train, gis, smoothed, _ = self._require_online()
         cfg = self.config
         w_sir, w_sur, w_suir = fusion_weights(cfg.lam, cfg.delta)

@@ -12,13 +12,33 @@ The format is plain NumPy: no pickle of code objects, so snapshots are
 loadable across library versions as long as the array schema (listed
 in :data:`_ARRAY_FIELDS`) is intact, and safe to share (nothing
 executes on load).
+
+Durability guarantees (what a serving fleet relies on):
+
+* **Atomic writes.**  :func:`save_model` writes to a deterministic
+  ``<path>.tmp`` sibling through an open file handle (so NumPy cannot
+  append a surprise ``.npz`` suffix), fsyncs it, and publishes with
+  ``os.replace`` — a crashed save never leaves a half-written snapshot
+  at the published path, and the tmp file is removed on failure.
+* **Corruption detection.**  Every snapshot carries a SHA-256 digest
+  of its logical content (config + every array's dtype/shape/bytes).
+  :func:`load_model` verifies it and raises
+  :class:`~repro.serving.errors.SnapshotCorruptError` on mismatch — as
+  it does for unreadable archives and missing arrays — so a damaged
+  artefact is rejected *before* it can serve garbage.  The serving
+  layer's reload path catches this and keeps the last-known-good model
+  (:meth:`repro.serving.PredictionService.reload`).
 """
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
+import hashlib
 import json
 import os
+import zipfile
+import zlib
 
 import numpy as np
 
@@ -29,6 +49,7 @@ from repro.core.icluster import IClusterIndex
 from repro.core.model import CFSF
 from repro.core.smoothing import SmoothedRatings
 from repro.data.matrix import RatingMatrix
+from repro.serving.errors import SnapshotCorruptError, SnapshotVersionError
 from repro.utils.cache import LRUCache
 
 __all__ = ["save_model", "load_model"]
@@ -54,8 +75,30 @@ _ARRAY_FIELDS = (
 )
 
 
+def _content_digest(meta_json: str, arrays: dict[str, np.ndarray]) -> str:
+    """SHA-256 over the snapshot's logical content.
+
+    Hashing the decoded content (not the file bytes) keeps the digest
+    stable across compression levels and lets it live inside the same
+    archive it protects.
+    """
+    h = hashlib.sha256()
+    h.update(meta_json.encode("utf-8"))
+    for name in sorted(arrays):
+        arr = np.ascontiguousarray(arrays[name])
+        h.update(name.encode("utf-8"))
+        h.update(str(arr.dtype).encode("utf-8"))
+        h.update(str(arr.shape).encode("utf-8"))
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
 def save_model(model: CFSF, path: str) -> None:
     """Serialise a fitted CFSF to ``path`` (``.npz``, compressed).
+
+    The write is atomic (tmp file + fsync + ``os.replace``): readers
+    either see the previous snapshot or the complete new one, never a
+    torn write.
 
     Raises
     ------
@@ -92,25 +135,81 @@ def save_model(model: CFSF, path: str) -> None:
         "icluster_affinity": model.icluster.affinity,
         "icluster_ranking": model.icluster.ranking,
     }
+    meta_json = json.dumps(meta)
+    checksum = _content_digest(meta_json, arrays)
+
     tmp = f"{path}.tmp"
-    np.savez_compressed(tmp, meta=json.dumps(meta), **arrays)
-    # numpy appends .npz to a name without it.
-    produced = tmp if os.path.exists(tmp) else f"{tmp}.npz"
-    os.replace(produced, path)
+    try:
+        # Writing through an open handle pins the tmp name exactly
+        # (np.savez_compressed appends ".npz" to bare *names* only) and
+        # lets us fsync before publishing.
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, meta=meta_json, checksum=checksum, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
+    # Persist the rename itself (POSIX: directory metadata).
+    dir_fd = os.open(os.path.dirname(os.path.abspath(path)), os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
 
 
 def load_model(path: str) -> CFSF:
-    """Restore a fitted CFSF from a :func:`save_model` snapshot."""
-    with np.load(path, allow_pickle=False) as archive:
-        meta = json.loads(str(archive["meta"]))
-        if meta.get("format_version") != FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported snapshot version {meta.get('format_version')!r}"
+    """Restore a fitted CFSF from a :func:`save_model` snapshot.
+
+    Raises
+    ------
+    FileNotFoundError
+        If *path* does not exist (a missing snapshot is an operational
+        condition, not corruption).
+    repro.serving.errors.SnapshotCorruptError
+        If the archive is unreadable, arrays are missing, or the
+        stored checksum does not match the content.  (A ``ValueError``
+        subclass, so pre-taxonomy callers keep working.)
+    repro.serving.errors.SnapshotVersionError
+        If the snapshot declares an unsupported format version.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            # Force-decompress every member inside the handler: zip CRC
+            # and zlib stream errors surface here, not lazily later.
+            data = {name: archive[name] for name in archive.files}
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, zlib.error, EOFError, OSError, KeyError, ValueError) as exc:
+        raise SnapshotCorruptError(path, f"unreadable archive ({exc})") from exc
+
+    if "meta" not in data:
+        raise SnapshotCorruptError(path, "archive has no 'meta' member")
+    try:
+        meta = json.loads(str(data["meta"]))
+    except json.JSONDecodeError as exc:
+        raise SnapshotCorruptError(path, f"meta is not valid JSON ({exc})") from exc
+
+    if meta.get("format_version") != FORMAT_VERSION:
+        raise SnapshotVersionError(
+            f"unsupported snapshot version {meta.get('format_version')!r}"
+        )
+    missing = [f for f in _ARRAY_FIELDS if f not in data]
+    if missing:
+        raise SnapshotCorruptError(path, f"snapshot is missing arrays: {missing}")
+
+    if "checksum" in data:
+        stored = str(data["checksum"])
+        actual = _content_digest(str(data["meta"]), {f: data[f] for f in _ARRAY_FIELDS})
+        if stored != actual:
+            raise SnapshotCorruptError(
+                path,
+                "content checksum mismatch",
+                expected_checksum=stored,
+                actual_checksum=actual,
             )
-        missing = [f for f in _ARRAY_FIELDS if f not in archive]
-        if missing:
-            raise ValueError(f"snapshot is missing arrays: {missing}")
-        data = {f: archive[f] for f in _ARRAY_FIELDS}
 
     config = CFSFConfig(**meta["config"])
     model = CFSF(config)

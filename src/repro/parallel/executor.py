@@ -14,6 +14,20 @@ Two transport strategies:
   via :func:`repro.parallel.offline.parallel_item_pcc`, which moves the
   rating matrix through :mod:`repro.parallel.shared`.
 
+Fault tolerance: the pool is built on
+:class:`concurrent.futures.ProcessPoolExecutor`, whose
+``BrokenProcessPool`` surfaces abrupt worker deaths (OOM kills,
+segfaults, ``os._exit``) instead of hanging the batch the way a raw
+``multiprocessing.Pool.map`` does.  On a crash the predictor discards
+the broken pool, respawns a fresh one, and retries the whole batch
+(prediction is pure, so re-execution is safe); after
+``max_pool_retries`` respawns it degrades to inline serial execution
+in the parent rather than failing the request.  The
+``crash_recoveries`` / ``inline_fallbacks`` counters expose what
+happened, and :class:`~repro.serving.errors.WorkerCrashError` is
+raised only when even the inline path is impossible (never, in
+practice — the model lives in the parent).
+
 Speedups are bounded by BLAS already using multiple threads inside a
 single process — set ``OMP_NUM_THREADS=1`` in workers (done by the
 initializer) to avoid oversubscription, the standard HPC hygiene.
@@ -23,7 +37,9 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
-from typing import Sequence
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -39,22 +55,30 @@ __all__ = ["ParallelPredictor", "recommended_workers"]
 # multiprocessing cannot pickle closures into initializers.)
 _WORKER_MODEL: Recommender | None = None
 _WORKER_GIVEN: RatingMatrix | None = None
+_WORKER_HOOK: Callable[[np.ndarray, np.ndarray], None] | None = None
 
 
-def _init_worker(model: Recommender, given: RatingMatrix) -> None:
+def _init_worker(
+    model: Recommender,
+    given: RatingMatrix,
+    hook: Callable[[np.ndarray, np.ndarray], None] | None,
+) -> None:
     """Pool initializer: pin state and tame BLAS thread fan-out."""
-    global _WORKER_MODEL, _WORKER_GIVEN
+    global _WORKER_MODEL, _WORKER_GIVEN, _WORKER_HOOK
     os.environ["OMP_NUM_THREADS"] = "1"
     os.environ["OPENBLAS_NUM_THREADS"] = "1"
     os.environ["MKL_NUM_THREADS"] = "1"
     _WORKER_MODEL = model
     _WORKER_GIVEN = given
+    _WORKER_HOOK = hook
 
 
 def _predict_chunk(args: tuple[np.ndarray, np.ndarray]) -> np.ndarray:
     """Worker task: predict one shard of (users, items)."""
     users, items = args
     assert _WORKER_MODEL is not None and _WORKER_GIVEN is not None
+    if _WORKER_HOOK is not None:
+        _WORKER_HOOK(users, items)
     return _WORKER_MODEL.predict_many(_WORKER_GIVEN, users, items)
 
 
@@ -80,6 +104,19 @@ class ParallelPredictor:
     start_method:
         ``"fork"`` (default, Linux) or ``"spawn"``.  Spawn pickles the
         model once per worker — correct everywhere but slower to start.
+    max_pool_retries:
+        How many times a crashed pool is respawned (batch retried)
+        before degrading to inline serial prediction in the parent.
+    inline_fallback:
+        When ``False``, exhausting the respawn budget raises
+        :class:`~repro.serving.errors.WorkerCrashError` instead of
+        degrading to inline execution (for callers that would rather
+        shed the batch than serve it slowly).
+    worker_hook:
+        Optional picklable callable run inside the worker before each
+        task — the seam the fault-injection harness
+        (:mod:`repro.serving.faults`) uses to kill workers or induce
+        latency deterministically.
 
     Examples
     --------
@@ -101,19 +138,31 @@ class ParallelPredictor:
         *,
         n_workers: int | None = None,
         start_method: str = "fork",
+        max_pool_retries: int = 2,
+        inline_fallback: bool = True,
+        worker_hook: Callable[[np.ndarray, np.ndarray], None] | None = None,
     ) -> None:
         if start_method not in ("fork", "spawn"):
             raise ValueError(f"start_method must be 'fork' or 'spawn', got {start_method!r}")
+        if max_pool_retries < 0:
+            raise ValueError(f"max_pool_retries must be >= 0, got {max_pool_retries}")
         self.model = model
         self.n_workers = (
             recommended_workers() if n_workers is None else check_positive_int(n_workers, "n_workers")
         )
         self.start_method = start_method
-        self._pool: mp.pool.Pool | None = None
+        self.max_pool_retries = int(max_pool_retries)
+        self.inline_fallback = bool(inline_fallback)
+        self.worker_hook = worker_hook
+        self._pool: ProcessPoolExecutor | None = None
         self._pool_given: RatingMatrix | None = None
+        #: Times a broken pool was detected and respawned.
+        self.crash_recoveries = 0
+        #: Times a batch fell back to inline serial prediction.
+        self.inline_fallbacks = 0
 
     # ------------------------------------------------------------------
-    def _ensure_pool(self, given: RatingMatrix) -> mp.pool.Pool:
+    def _ensure_pool(self, given: RatingMatrix) -> ProcessPoolExecutor:
         """(Re)create the pool when the given matrix changes.
 
         Workers hold the given matrix in their globals, so a new active
@@ -124,13 +173,21 @@ class ParallelPredictor:
             return self._pool
         self.close()
         ctx = mp.get_context(self.start_method)
-        self._pool = ctx.Pool(
-            processes=self.n_workers,
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.n_workers,
+            mp_context=ctx,
             initializer=_init_worker,
-            initargs=(self.model, given),
+            initargs=(self.model, given, self.worker_hook),
         )
         self._pool_given = given
         return self._pool
+
+    def _discard_pool(self) -> None:
+        """Drop a (possibly broken) pool without waiting on it."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            self._pool_given = None
 
     def predict_many(
         self,
@@ -143,7 +200,9 @@ class ParallelPredictor:
         Requests are sharded by active user with LPT balancing on
         per-user request counts; each worker prediction batch keeps all
         of a user's requests together to preserve the model's per-user
-        caching.
+        caching.  Worker crashes are recovered transparently (pool
+        respawn, then inline fallback); results are complete either
+        way.
         """
         users = np.asarray(users, dtype=np.intp)
         items = np.asarray(items, dtype=np.intp)
@@ -168,19 +227,54 @@ class ParallelPredictor:
             tasks.append((users[idx], items[idx]))
             request_slices.append(idx)
 
-        pool = self._ensure_pool(given)
-        results = pool.map(_predict_chunk, tasks)
+        results = self._run_tasks(given, tasks)
         out = np.empty(users.shape, dtype=np.float64)
         for idx, chunk in zip(request_slices, results):
             out[idx] = chunk
         return out
 
+    def _run_tasks(
+        self,
+        given: RatingMatrix,
+        tasks: list[tuple[np.ndarray, np.ndarray]],
+    ) -> list[np.ndarray]:
+        """Run the task list, surviving worker crashes.
+
+        A ``BrokenProcessPool`` means at least one worker died holding
+        part of the batch; the safe recovery for a pure function is to
+        discard the pool and re-run everything.  Bounded respawns, then
+        inline execution — the request is answered regardless.
+        """
+        for _attempt in range(self.max_pool_retries + 1):
+            pool = self._ensure_pool(given)
+            try:
+                return list(pool.map(_predict_chunk, tasks))
+            except BrokenProcessPool:
+                self.crash_recoveries += 1
+                self._discard_pool()
+        if not self.inline_fallback:
+            from repro.serving.errors import WorkerCrashError
+
+            raise WorkerCrashError(
+                f"pool workers kept dying ({self.max_pool_retries + 1} attempts) "
+                "and inline fallback is disabled"
+            )
+        self.inline_fallbacks += 1
+        return [self.model.predict_many(given, u, i) for u, i in tasks]
+
+    def stats(self) -> dict[str, int]:
+        """Crash/fallback counters for health reporting."""
+        return {
+            "crash_recoveries": self.crash_recoveries,
+            "inline_fallbacks": self.inline_fallbacks,
+            "pool_alive": int(self._pool is not None),
+        }
+
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Shut the pool down (idempotent)."""
         if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
+            self._pool.shutdown(wait=True)
             self._pool = None
             self._pool_given = None
 

@@ -1,0 +1,49 @@
+"""Serving: the fault-tolerant layer between requests and the model.
+
+The paper's O(M·K) online phase is built for live traffic; this
+subpackage makes it *operable* under the failures live traffic brings:
+
+* :mod:`~repro.serving.errors` — the typed error taxonomy.
+* :mod:`~repro.serving.breaker` — circuit breakers with jittered
+  exponential backoff.
+* :mod:`~repro.serving.service` — :class:`PredictionService`: input
+  validation, per-request deadlines with partial-batch results, the
+  CFSF → item-KNN → user-mean → global-mean fallback chain, and hot
+  snapshot reload with last-known-good rollback.
+* :mod:`~repro.serving.faults` — the deterministic fault-injection
+  harness (snapshot corruption, worker death, induced latency,
+  poisoned ratings) that the robustness tests drive everything with.
+
+See ``docs/robustness.md`` for the operational model.
+"""
+
+from repro.serving.breaker import CircuitBreaker, CircuitState
+from repro.serving.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    InvalidRequestError,
+    ModelUnavailableError,
+    ServingError,
+    SnapshotCorruptError,
+    SnapshotError,
+    SnapshotVersionError,
+    WorkerCrashError,
+)
+from repro.serving.service import PredictionService, ServingResult, StageFailure
+
+__all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "CircuitState",
+    "DeadlineExceededError",
+    "InvalidRequestError",
+    "ModelUnavailableError",
+    "PredictionService",
+    "ServingError",
+    "ServingResult",
+    "SnapshotCorruptError",
+    "SnapshotError",
+    "SnapshotVersionError",
+    "StageFailure",
+    "WorkerCrashError",
+]

@@ -1,0 +1,178 @@
+"""Circuit breaker guarding each stage of the fallback chain.
+
+The classic pattern (Nygard, *Release It!*): a stage that keeps
+failing should stop being *tried* — every attempt against a broken
+dependency costs latency and can cascade.  The breaker tracks
+consecutive failures and moves through three states:
+
+``closed``
+    Normal operation; calls flow through.  ``failure_threshold``
+    consecutive failures trip it open.
+``open``
+    Calls are refused outright (:meth:`CircuitBreaker.allow` returns
+    ``False``).  After a backoff delay the breaker half-opens.
+``half_open``
+    One probe call is let through.  Success closes the breaker and
+    resets the backoff; failure re-opens it with the delay doubled
+    (capped at ``max_reset_timeout``).
+
+The re-open delay grows exponentially and carries multiplicative
+jitter — ``delay = base * factor**opens * (1 + jitter * U[0,1))`` —
+so a fleet of replicas recovering from a shared outage does not probe
+the struggling dependency in lockstep.  Both the clock and the jitter
+RNG are injectable, which is what makes every transition deterministic
+under test (see ``tests/test_serving_breaker.py``).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from typing import Callable
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive_int
+
+__all__ = ["CircuitBreaker", "CircuitState"]
+
+
+class CircuitState(str, enum.Enum):
+    """The three breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with jittered backoff.
+
+    Parameters
+    ----------
+    name:
+        Label used in diagnostics (conventionally the stage name).
+    failure_threshold:
+        Consecutive failures that trip a closed breaker open.
+    reset_timeout:
+        Base open-state delay in seconds before the first half-open
+        probe.
+    backoff_factor:
+        Multiplier applied to the delay on every re-open without an
+        intervening success.
+    max_reset_timeout:
+        Upper bound on the (pre-jitter) delay.
+    jitter:
+        Fractional jitter; the delay is scaled by ``1 + jitter*U[0,1)``.
+    clock:
+        Monotonic time source (injectable for tests).
+    rng:
+        Seed or :class:`numpy.random.Generator` for the jitter draw.
+    """
+
+    def __init__(
+        self,
+        name: str = "",
+        *,
+        failure_threshold: int = 3,
+        reset_timeout: float = 1.0,
+        backoff_factor: float = 2.0,
+        max_reset_timeout: float = 60.0,
+        jitter: float = 0.2,
+        clock: Callable[[], float] = time.monotonic,
+        rng=None,
+    ) -> None:
+        self.name = name
+        self.failure_threshold = check_positive_int(failure_threshold, "failure_threshold")
+        if reset_timeout <= 0.0:
+            raise ValueError(f"reset_timeout must be > 0, got {reset_timeout}")
+        if backoff_factor < 1.0:
+            raise ValueError(f"backoff_factor must be >= 1, got {backoff_factor}")
+        if jitter < 0.0:
+            raise ValueError(f"jitter must be >= 0, got {jitter}")
+        self.reset_timeout = float(reset_timeout)
+        self.backoff_factor = float(backoff_factor)
+        self.max_reset_timeout = float(max_reset_timeout)
+        self.jitter = float(jitter)
+        self._clock = clock
+        self._rng = as_generator(rng)
+
+        self.state = CircuitState.CLOSED
+        self.consecutive_failures = 0
+        self.failures = 0
+        self.successes = 0
+        self.open_count = 0          # total times the breaker tripped
+        self._open_streak = 0        # re-opens without a success (drives backoff)
+        self._retry_at = 0.0
+        self.last_delay = 0.0
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """May a call be attempted right now?
+
+        Transitions ``open -> half_open`` as a side effect once the
+        backoff delay has elapsed.
+        """
+        if self.state is CircuitState.OPEN:
+            if self._clock() >= self._retry_at:
+                self.state = CircuitState.HALF_OPEN
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        """A call through this breaker succeeded: close and reset."""
+        self.successes += 1
+        self.consecutive_failures = 0
+        self._open_streak = 0
+        self.state = CircuitState.CLOSED
+
+    def record_failure(self) -> None:
+        """A call through this breaker failed.
+
+        A half-open probe failure re-opens immediately (with a longer
+        delay); in the closed state the breaker trips once
+        ``failure_threshold`` consecutive failures accumulate.
+        """
+        self.failures += 1
+        self.consecutive_failures += 1
+        if (
+            self.state is CircuitState.HALF_OPEN
+            or self.consecutive_failures >= self.failure_threshold
+        ):
+            self._trip()
+
+    def retry_in(self) -> float:
+        """Seconds until the next half-open probe (0 when not open)."""
+        if self.state is not CircuitState.OPEN:
+            return 0.0
+        return max(0.0, self._retry_at - self._clock())
+
+    # ------------------------------------------------------------------
+    def _trip(self) -> None:
+        base = min(
+            self.reset_timeout * self.backoff_factor**self._open_streak,
+            self.max_reset_timeout,
+        )
+        self.last_delay = base * (1.0 + self.jitter * float(self._rng.random()))
+        self._retry_at = self._clock() + self.last_delay
+        self.state = CircuitState.OPEN
+        self.open_count += 1
+        self._open_streak += 1
+
+    def snapshot(self) -> dict:
+        """Counters and state for health endpoints / tests."""
+        return {
+            "name": self.name,
+            "state": self.state.value,
+            "failures": self.failures,
+            "successes": self.successes,
+            "consecutive_failures": self.consecutive_failures,
+            "open_count": self.open_count,
+            "retry_in": self.retry_in(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(name={self.name!r}, state={self.state.value}, "
+            f"failures={self.failures}, opens={self.open_count})"
+        )

@@ -1,0 +1,124 @@
+"""Typed error taxonomy for the serving layer.
+
+Every failure mode a production serving path meets is given a distinct
+exception type so that callers (the :class:`~repro.serving.service.
+PredictionService` fallback chain, operational dashboards, tests) can
+react per *kind* of failure instead of string-matching messages:
+
+===============================  =======================================
+:class:`InvalidRequestError`     Malformed input — bad shapes, ids out of
+                                 range, NaN / out-of-scale ratings.
+:class:`DeadlineExceededError`   A request's latency budget ran out.
+:class:`ModelUnavailableError`   No usable model (never loaded, or every
+                                 load attempt failed).
+:class:`CircuitOpenError`        A chain stage is currently tripped.
+:class:`SnapshotError`           Umbrella for snapshot load problems.
+:class:`SnapshotCorruptError`    The snapshot file is damaged (bad zip,
+                                 missing arrays, checksum mismatch).
+:class:`SnapshotVersionError`    Readable snapshot in an unknown format.
+:class:`WorkerCrashError`        A pool worker died mid-batch.
+===============================  =======================================
+
+The taxonomy deliberately multiple-inherits from the builtin types the
+pre-robustness code raised (``ValueError``, ``RuntimeError``,
+``TimeoutError``), so introducing it is backward compatible: callers
+that caught ``ValueError`` from :func:`repro.core.persistence.load_model`
+still catch :class:`SnapshotCorruptError`.
+
+This module has no dependencies on the rest of :mod:`repro` (or on
+NumPy) so any layer — including :mod:`repro.core` — may import it
+without cycles.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServingError",
+    "InvalidRequestError",
+    "DeadlineExceededError",
+    "ModelUnavailableError",
+    "CircuitOpenError",
+    "SnapshotError",
+    "SnapshotCorruptError",
+    "SnapshotVersionError",
+    "WorkerCrashError",
+]
+
+
+class ServingError(Exception):
+    """Base class for every error in the serving taxonomy."""
+
+
+class InvalidRequestError(ServingError, ValueError):
+    """A request failed input validation.
+
+    Raised for structurally malformed requests (mismatched array
+    shapes), ids outside the trained user/item space, and given
+    matrices carrying NaN or out-of-scale ratings.
+    """
+
+
+class DeadlineExceededError(ServingError, TimeoutError):
+    """A request (or batch remainder) exceeded its latency budget."""
+
+
+class ModelUnavailableError(ServingError, RuntimeError):
+    """No model is available to serve with (and no last-known-good)."""
+
+
+class CircuitOpenError(ServingError, RuntimeError):
+    """A fallback-chain stage was skipped because its breaker is open."""
+
+    def __init__(self, stage: str, retry_in: float) -> None:
+        super().__init__(
+            f"circuit for stage {stage!r} is open (retry in {retry_in:.3f}s)"
+        )
+        self.stage = stage
+        self.retry_in = retry_in
+
+
+class SnapshotError(ServingError, ValueError):
+    """Base class for snapshot load/save problems."""
+
+
+class SnapshotCorruptError(SnapshotError):
+    """A snapshot file is damaged and must not be served from.
+
+    Attributes
+    ----------
+    path:
+        The offending snapshot file.
+    detail:
+        Human-readable description of what failed structurally.
+    expected_checksum, actual_checksum:
+        Set when the damage was detected by content-digest mismatch
+        (both ``None`` when the archive was unreadable outright).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        detail: str,
+        *,
+        expected_checksum: str | None = None,
+        actual_checksum: str | None = None,
+    ) -> None:
+        message = f"corrupt snapshot {path!r}: {detail}"
+        if expected_checksum is not None:
+            message += (
+                f" (expected checksum {expected_checksum[:12]}..., "
+                f"got {(actual_checksum or '?')[:12]}...)"
+            )
+        super().__init__(message)
+        self.path = path
+        self.detail = detail
+        self.expected_checksum = expected_checksum
+        self.actual_checksum = actual_checksum
+
+
+class SnapshotVersionError(SnapshotError):
+    """A snapshot was written by an unknown format version."""
+
+
+class WorkerCrashError(ServingError, RuntimeError):
+    """A process-pool worker died while holding part of a batch."""

@@ -1,0 +1,547 @@
+"""The fault-tolerant prediction service.
+
+:class:`PredictionService` wraps any fitted
+:class:`~repro.baselines.base.Recommender` with the serving behaviours
+a production deployment needs and the bare model does not have:
+
+1. **Input validation** mapped to the typed taxonomy of
+   :mod:`repro.serving.errors`.  In the default lenient mode invalid
+   requests (ids out of range) are *answered* — with the global-mean
+   stage — and flagged, because Eq. 15's protocol (and any live SLA)
+   wants an answer per request; ``strict=True`` raises instead.
+   Given matrices carrying NaN or out-of-scale ratings (an upstream
+   ingestion bug) are sanitised: the offending cells are dropped from
+   the mask and the affected users' requests are served from the
+   cleaned profile, flagged as degraded.
+2. **Per-request deadlines with partial-batch results.**  Requests are
+   served in per-user blocks; once the batch's latency budget is
+   spent, the remaining blocks short-circuit to the cheap user-mean
+   stage instead of wedging the caller.
+3. **A graceful-degradation fallback chain** — CFSF fusion → item-KNN
+   over the GIS only → user mean → global mean — where every stage is
+   guarded by a :class:`~repro.serving.breaker.CircuitBreaker`.  A
+   stage that keeps failing is skipped (open circuit) until its
+   jittered exponential backoff lets a probe through.  The final
+   stage is a stored scalar and cannot fail, so **every request gets a
+   prediction** no matter which layers are down.
+4. **Hot snapshot reload with last-known-good rollback.**
+   :meth:`PredictionService.reload` loads a new snapshot with bounded
+   retry/backoff; a corrupt or unreadable snapshot leaves the service
+   running on the previous model.
+
+The clock and sleep functions are injectable so that deadline and
+backoff behaviour is deterministic under test (see
+:class:`repro.serving.faults.ManualClock`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.data.matrix import RatingMatrix
+from repro.serving.breaker import CircuitBreaker
+from repro.serving.errors import (
+    InvalidRequestError,
+    ModelUnavailableError,
+    SnapshotError,
+)
+
+__all__ = ["PredictionService", "ServingResult", "StageFailure"]
+
+#: Cap on per-result error diagnostics (a melting stage must not make
+#: every response carry an unbounded error list).
+_MAX_ERRORS_PER_CALL = 32
+
+
+@dataclass(frozen=True)
+class StageFailure:
+    """One failed stage attempt, for diagnostics."""
+
+    stage: str
+    error: str
+    n_requests: int
+
+
+@dataclass(frozen=True)
+class ServingResult:
+    """Predictions plus per-request degradation bookkeeping.
+
+    ``fallback_level`` indexes into ``stage_names``: level 0 is the
+    primary model, higher levels are progressively simpler estimators.
+    """
+
+    predictions: np.ndarray
+    fallback_level: np.ndarray
+    stage_names: tuple[str, ...]
+    invalid: np.ndarray
+    sanitized: np.ndarray
+    deadline_deferred: np.ndarray
+    deadline_hit: bool
+    elapsed: float
+    errors: tuple[StageFailure, ...] = field(default=())
+
+    @property
+    def degraded(self) -> np.ndarray:
+        """Per-request: was anything other than the primary path used?"""
+        return (
+            (self.fallback_level > 0)
+            | self.invalid
+            | self.sanitized
+            | self.deadline_deferred
+        )
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Fraction of the batch that was served degraded (0.0-1.0)."""
+        n = self.predictions.size
+        return float(self.degraded.sum() / n) if n else 0.0
+
+    def level_counts(self) -> dict[str, int]:
+        """Requests served per stage name."""
+        counts = np.bincount(self.fallback_level, minlength=len(self.stage_names))
+        return {name: int(c) for name, c in zip(self.stage_names, counts)}
+
+    def __len__(self) -> int:
+        return self.predictions.size
+
+
+@dataclass
+class _Stage:
+    name: str
+    fn: Callable[[RatingMatrix, np.ndarray, np.ndarray], np.ndarray]
+    infallible: bool = False
+
+
+class PredictionService:
+    """Serve predictions through a guarded fallback chain.
+
+    Parameters
+    ----------
+    model:
+        A fitted recommender (stage 0).  May be omitted when
+        *snapshot_path* is given.
+    snapshot_path:
+        Default snapshot for :meth:`reload`; when *model* is ``None``
+        the service boots from it (raising
+        :class:`~repro.serving.errors.ModelUnavailableError` if no
+        usable snapshot exists).
+    strict:
+        When ``True``, invalid requests raise
+        :class:`~repro.serving.errors.InvalidRequestError` instead of
+        being served by the fallback stage.
+    failure_threshold / reset_timeout / backoff_factor /
+    max_reset_timeout / jitter / breaker_seed:
+        Circuit-breaker tuning, shared by all stages.
+    reload_retries / reload_backoff:
+        Bounded retry policy for snapshot loads (backoff doubles per
+        attempt).
+    clock / sleep:
+        Injectable time sources (see :class:`~repro.serving.faults.
+        ManualClock`).
+
+    Examples
+    --------
+    >>> from repro.core import CFSF
+    >>> from repro.data import make_movielens_like, make_split
+    >>> split = make_split(make_movielens_like(seed=0).ratings,
+    ...                    n_train_users=300, given_n=10)
+    >>> service = PredictionService(CFSF().fit(split.train))
+    >>> users, items, _ = split.targets_arrays()
+    >>> result = service.predict_many(split.given, users[:8], items[:8])
+    >>> len(result), bool(result.degraded.any())
+    (8, False)
+    """
+
+    def __init__(
+        self,
+        model=None,
+        *,
+        snapshot_path: str | None = None,
+        strict: bool = False,
+        failure_threshold: int = 3,
+        reset_timeout: float = 1.0,
+        backoff_factor: float = 2.0,
+        max_reset_timeout: float = 60.0,
+        jitter: float = 0.2,
+        breaker_seed: int = 0,
+        reload_retries: int = 3,
+        reload_backoff: float = 0.05,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.snapshot_path = snapshot_path
+        self.strict = bool(strict)
+        self.reload_retries = reload_retries
+        self.reload_backoff = float(reload_backoff)
+        self._clock = clock
+        self._sleep = sleep
+        self._breaker_kwargs = dict(
+            failure_threshold=failure_threshold,
+            reset_timeout=reset_timeout,
+            backoff_factor=backoff_factor,
+            max_reset_timeout=max_reset_timeout,
+            jitter=jitter,
+        )
+        self._breaker_seed = breaker_seed
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._sanitize_memo: tuple[int, RatingMatrix, np.ndarray] | None = None
+
+        # Cumulative operational counters.
+        self.requests_total = 0
+        self.deadline_deferred_total = 0
+        self.invalid_total = 0
+        self.model_version = 0
+        self.reloads_ok = 0
+        self.reloads_failed = 0
+        self.last_reload_error: Exception | None = None
+
+        self.model = None
+        if model is not None:
+            self._install_model(model)
+        elif snapshot_path is not None:
+            loaded = self._load_snapshot(snapshot_path)
+            if loaded is None:
+                raise ModelUnavailableError(
+                    f"could not load initial snapshot {snapshot_path!r}"
+                ) from self.last_reload_error
+            self._install_model(loaded)
+        else:
+            raise ModelUnavailableError("need a fitted model or a snapshot_path")
+
+    # ------------------------------------------------------------------
+    # Model installation and the fallback chain
+    # ------------------------------------------------------------------
+    def _install_model(self, model) -> None:
+        train = getattr(model, "_train", None)
+        if train is None:
+            raise ModelUnavailableError(
+                f"{type(model).__name__} is not fitted; fit() it before serving"
+            )
+        self.model = model
+        self._n_items = train.n_items
+        self._scale = train.rating_scale
+        self._global_mean = float(train.global_mean())
+        self._stages = self._build_stages(model)
+        for idx, stage in enumerate(self._stages):
+            if stage.name not in self._breakers:
+                self._breakers[stage.name] = CircuitBreaker(
+                    stage.name,
+                    clock=self._clock,
+                    rng=self._breaker_seed + idx,
+                    **self._breaker_kwargs,
+                )
+        self.model_version += 1
+        self._sanitize_memo = None
+
+    def _build_stages(self, model) -> list[_Stage]:
+        lo, hi = self._scale
+        gmean = self._global_mean
+
+        stages = [_Stage(str(model.name), model.predict_many)]
+
+        gis = getattr(model, "gis", None)
+        if gis is not None:
+            sim = gis.sim
+
+            def item_knn(given: RatingMatrix, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+                out = np.empty(users.size, dtype=np.float64)
+                umeans = given.user_means(fill=gmean)
+                order = np.argsort(users, kind="stable")
+                bounds = np.nonzero(np.diff(users[order]))[0] + 1
+                for block in np.split(np.arange(users.size)[order], bounds):
+                    u = int(users[block[0]])
+                    rated_idx, rated_vals = given.user_profile(u)
+                    q = items[block]
+                    if rated_idx.size == 0:
+                        out[block] = umeans[u]
+                        continue
+                    sims = np.maximum(sim[np.ix_(q, rated_idx)], 0.0)
+                    sims[q[:, None] == rated_idx[None, :]] = 0.0
+                    denom = sims.sum(axis=1)
+                    numer = sims @ rated_vals
+                    out[block] = np.where(
+                        denom > 0.0,
+                        numer / np.where(denom > 0.0, denom, 1.0),
+                        umeans[u],
+                    )
+                return np.clip(out, lo, hi)
+
+            stages.append(_Stage("item_knn", item_knn))
+
+        def user_mean(given: RatingMatrix, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+            return np.clip(given.user_means(fill=gmean)[users], lo, hi)
+
+        def global_mean(given: RatingMatrix, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+            return np.full(users.size, gmean)
+
+        stages.append(_Stage("user_mean", user_mean, infallible=True))
+        stages.append(_Stage("global_mean", global_mean, infallible=True))
+        return stages
+
+    @property
+    def stage_names(self) -> tuple[str, ...]:
+        """Names of the chain's stages, primary first."""
+        return tuple(stage.name for stage in self._stages)
+
+    # ------------------------------------------------------------------
+    # Snapshot reload
+    # ------------------------------------------------------------------
+    def _load_snapshot(self, path: str):
+        """Load with bounded retry/backoff; ``None`` when all fail."""
+        # Imported lazily: persistence sits in repro.core, which imports
+        # this package's error types — a module-level import would cycle.
+        from repro.core.persistence import load_model
+
+        delay = self.reload_backoff
+        last: Exception | None = None
+        for attempt in range(max(1, self.reload_retries)):
+            try:
+                return load_model(path)
+            except (SnapshotError, OSError, ValueError) as exc:
+                last = exc
+                if attempt + 1 < max(1, self.reload_retries):
+                    self._sleep(delay)
+                    delay *= 2.0
+        self.last_reload_error = last
+        return None
+
+    def reload(self, path: str | None = None) -> bool:
+        """Hot-swap the served model from a snapshot.
+
+        Returns ``True`` on success.  On failure (corrupt, missing, or
+        unreadable snapshot, after ``reload_retries`` attempts) the
+        service keeps serving from the last-known-good model and
+        returns ``False``; the failure is kept in
+        ``last_reload_error``.
+        """
+        target = path or self.snapshot_path
+        if target is None:
+            raise ValueError("no snapshot path given and none configured")
+        loaded = self._load_snapshot(target)
+        if loaded is None:
+            self.reloads_failed += 1
+            if self.model is None:  # pragma: no cover - constructor guards this
+                raise ModelUnavailableError(
+                    f"snapshot {target!r} unusable and no last-known-good model"
+                ) from self.last_reload_error
+            return False
+        try:
+            self._install_model(loaded)
+        except ModelUnavailableError:
+            self.reloads_failed += 1
+            return False
+        self.reloads_ok += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Validation and sanitisation
+    # ------------------------------------------------------------------
+    def _sanitize_given(self, given: RatingMatrix) -> tuple[RatingMatrix, np.ndarray]:
+        """Drop NaN / out-of-scale observed ratings from *given*.
+
+        Returns the (possibly original) matrix and a per-user boolean
+        flagging users whose profile was repaired.  Memoised on object
+        identity: the common serving pattern re-sends one given matrix
+        for many batches, and preserving identity keeps the model's
+        per-user caches warm.
+        """
+        memo = self._sanitize_memo
+        if memo is not None and memo[0] == id(given):
+            return memo[1], memo[2]
+        lo, hi = self._scale
+        values, mask = given.values, given.mask
+        with np.errstate(invalid="ignore"):
+            bad = mask & (~np.isfinite(values) | (values < lo) | (values > hi))
+        if bad.any():
+            cleaned = RatingMatrix(
+                np.where(bad, 0.0, values), mask & ~bad, rating_scale=given.rating_scale
+            )
+            poisoned_users = bad.any(axis=1)
+        else:
+            cleaned, poisoned_users = given, np.zeros(given.n_users, dtype=bool)
+        self._sanitize_memo = (id(given), cleaned, poisoned_users)
+        # Hold a reference to the source so id() cannot be recycled.
+        self._sanitize_src = given
+        return cleaned, poisoned_users
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def predict(self, given: RatingMatrix, user: int, item: int,
+                *, deadline: float | None = None) -> float:
+        """Single-request convenience wrapper."""
+        result = self.predict_many(
+            given, np.array([user]), np.array([item]), deadline=deadline
+        )
+        return float(result.predictions[0])
+
+    def predict_many(
+        self,
+        given: RatingMatrix,
+        users: np.ndarray | Sequence[int],
+        items: np.ndarray | Sequence[int],
+        *,
+        deadline: float | None = None,
+    ) -> ServingResult:
+        """Serve a batch; every request is answered, degraded or not.
+
+        Parameters
+        ----------
+        given:
+            Active users' revealed profiles (items must align with the
+            trained item space).
+        users, items:
+            Parallel request arrays.
+        deadline:
+            Latency budget in seconds for the whole batch.  When it
+            runs out mid-batch, unserved per-user blocks fall through
+            to the cheap user-mean stage and are flagged
+            ``deadline_deferred``.
+        """
+        t0 = self._clock()
+        if self.model is None:  # pragma: no cover - constructor guards this
+            raise ModelUnavailableError("service has no model installed")
+        try:
+            users = np.asarray(users, dtype=np.intp)
+            items = np.asarray(items, dtype=np.intp)
+        except (TypeError, ValueError) as exc:
+            raise InvalidRequestError(f"non-integer request arrays: {exc}") from exc
+        if users.shape != items.shape or users.ndim != 1:
+            raise InvalidRequestError(
+                f"users {users.shape} and items {items.shape} must be parallel 1-D arrays"
+            )
+
+        n = users.size
+        stage_names = self.stage_names
+        last_level = len(self._stages) - 1
+        predictions = np.full(n, self._global_mean, dtype=np.float64)
+        levels = np.full(n, last_level, dtype=np.intp)
+        deferred = np.zeros(n, dtype=bool)
+        errors: list[StageFailure] = []
+
+        # --- validation -------------------------------------------------
+        invalid = (
+            (users < 0)
+            | (users >= given.n_users)
+            | (items < 0)
+            | (items >= self._n_items)
+        )
+        if given.n_items != self._n_items:
+            if self.strict:
+                raise InvalidRequestError(
+                    f"given has {given.n_items} items but model serves {self._n_items}"
+                )
+            invalid[:] = True
+        if self.strict and invalid.any():
+            offender = int(np.nonzero(invalid)[0][0])
+            raise InvalidRequestError(
+                f"request {offender} (user={users[offender]}, item={items[offender]}) "
+                "is out of range"
+            )
+        self.invalid_total += int(invalid.sum())
+
+        sanitized_req = np.zeros(n, dtype=bool)
+        deadline_hit = False
+        valid_idx = np.nonzero(~invalid)[0]
+        if valid_idx.size:
+            cleaned, poisoned_users = self._sanitize_given(given)
+            sanitized_req[valid_idx] = poisoned_users[users[valid_idx]]
+
+            v_users = users[valid_idx]
+            order = np.argsort(v_users, kind="stable")
+            bounds = np.nonzero(np.diff(v_users[order]))[0] + 1
+            cheap = self._cheap_level()
+            for block in np.split(valid_idx[order], bounds):
+                if (
+                    deadline is not None
+                    and self._clock() - t0 >= deadline
+                ):
+                    deadline_hit = True
+                    predictions[block] = self._stages[cheap].fn(
+                        cleaned, users[block], items[block]
+                    )
+                    levels[block] = cheap
+                    deferred[block] = True
+                    continue
+                predictions[block], levels[block] = self._predict_block(
+                    cleaned, users[block], items[block], errors
+                )
+
+        self.requests_total += n
+        self.deadline_deferred_total += int(deferred.sum())
+        return ServingResult(
+            predictions=np.clip(predictions, *self._scale),
+            fallback_level=levels,
+            stage_names=stage_names,
+            invalid=invalid,
+            sanitized=sanitized_req,
+            deadline_deferred=deferred,
+            deadline_hit=deadline_hit,
+            elapsed=self._clock() - t0,
+            errors=tuple(errors[:_MAX_ERRORS_PER_CALL]),
+        )
+
+    def _cheap_level(self) -> int:
+        """Stage index used for deadline-deferred requests."""
+        for idx, stage in enumerate(self._stages):
+            if stage.name == "user_mean":
+                return idx
+        return len(self._stages) - 1  # pragma: no cover - chain always has it
+
+    def _predict_block(
+        self,
+        given: RatingMatrix,
+        users: np.ndarray,
+        items: np.ndarray,
+        errors: list[StageFailure],
+    ) -> tuple[np.ndarray, int]:
+        """Walk the chain for one per-user block; never raises."""
+        for level, stage in enumerate(self._stages):
+            breaker = self._breakers[stage.name]
+            if not breaker.allow():
+                continue
+            try:
+                out = np.asarray(stage.fn(given, users, items), dtype=np.float64)
+                if out.shape != users.shape or not np.isfinite(out).all():
+                    raise InvalidRequestError(
+                        f"stage {stage.name!r} produced non-finite or misshapen output"
+                    )
+            except Exception as exc:  # noqa: BLE001 - the chain absorbs stage faults
+                breaker.record_failure()
+                if len(errors) < _MAX_ERRORS_PER_CALL:
+                    errors.append(
+                        StageFailure(stage.name, f"{type(exc).__name__}: {exc}", users.size)
+                    )
+                continue
+            breaker.record_success()
+            return out, level
+        # Every stage failed or is open; the stored scalar still serves.
+        return np.full(users.size, self._global_mean), len(self._stages) - 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def breaker_states(self) -> dict[str, str]:
+        """Current circuit state per stage."""
+        return {name: br.state.value for name, br in self._breakers.items()}
+
+    def health(self) -> dict:
+        """Operational snapshot for dashboards and tests."""
+        return {
+            "model": None if self.model is None else str(self.model.name),
+            "model_version": self.model_version,
+            "stages": list(self.stage_names),
+            "breakers": {n: b.snapshot() for n, b in self._breakers.items()},
+            "requests_total": self.requests_total,
+            "invalid_total": self.invalid_total,
+            "deadline_deferred_total": self.deadline_deferred_total,
+            "reloads_ok": self.reloads_ok,
+            "reloads_failed": self.reloads_failed,
+            "last_reload_error": (
+                None if self.last_reload_error is None else repr(self.last_reload_error)
+            ),
+        }

@@ -3,12 +3,73 @@
 The expensive fixtures (generated datasets, fitted models) are
 session-scoped: they are deterministic, read-only, and reused by many
 test modules — regeneration per test would dominate suite runtime.
+
+Also home to the per-test timeout shim: ``pyproject.toml`` sets a
+global ``timeout`` so hung degraded paths fail fast.  When
+``pytest-timeout`` is installed it enforces the limit; otherwise the
+SIGALRM fallback below does (the container must not pip-install, so
+the dependency is optional by design).
 """
 
 from __future__ import annotations
 
+import signal
+import threading
+
 import numpy as np
 import pytest
+
+try:
+    import pytest_timeout  # noqa: F401
+
+    _HAVE_PYTEST_TIMEOUT = True
+except ModuleNotFoundError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+
+if not _HAVE_PYTEST_TIMEOUT:
+
+    def pytest_addoption(parser: pytest.Parser) -> None:
+        # Registers the ini key pytest-timeout would own, so the
+        # pyproject setting neither warns nor requires the plugin.
+        parser.addini(
+            "timeout",
+            "per-test timeout in seconds (SIGALRM fallback shim; "
+            "0 disables)",
+            default="0",
+        )
+
+    def _resolve_timeout(item: pytest.Item) -> float:
+        marker = item.get_closest_marker("timeout")
+        if marker is not None and marker.args:
+            return float(marker.args[0])
+        try:
+            return float(item.config.getini("timeout") or 0.0)
+        except ValueError:
+            return 0.0
+
+    @pytest.hookimpl(wrapper=True)
+    def pytest_runtest_call(item: pytest.Item):
+        timeout = _resolve_timeout(item)
+        if (
+            timeout <= 0
+            or not hasattr(signal, "SIGALRM")
+            or threading.current_thread() is not threading.main_thread()
+        ):
+            return (yield)
+
+        def _alarm(signum, frame):
+            raise TimeoutError(
+                f"test exceeded {timeout:.0f}s (conftest fallback timeout)"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _alarm)
+        signal.alarm(max(1, int(timeout)))
+        try:
+            return (yield)
+        finally:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, previous)
 
 from repro.core import CFSF
 from repro.data import (

@@ -39,3 +39,43 @@ class TestTuneCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "Best of 2 trials" in out and "validation MAE" in out
+
+
+class TestServeCommand:
+    @pytest.mark.slow
+    @pytest.mark.faults
+    def test_serve_degrades_on_stage_failure(self, capsys):
+        code = main([
+            "serve", "--train-size", "100", "--given-n", "10",
+            "--requests", "400", "--inject", "stage-failure",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Requests served per fallback stage" in out
+        assert "item_knn" in out
+        assert "CFSF=open" in out
+        assert "MAE over served batch" in out
+
+    @pytest.mark.slow
+    @pytest.mark.faults
+    def test_serve_corrupt_snapshot_keeps_model(self, capsys, tmp_path):
+        code = main([
+            "serve", "--train-size", "100", "--given-n", "10",
+            "--requests", "40", "--inject", "corrupt-snapshot",
+            "--snapshot", str(tmp_path / "model.npz"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "kept last-known-good model" in out
+        assert "SnapshotCorruptError" in out
+
+    @pytest.mark.slow
+    def test_serve_healthy_with_deadline(self, capsys):
+        code = main([
+            "serve", "--train-size", "100", "--given-n", "10",
+            "--requests", "60", "--deadline-ms", "60000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "degraded: 0.0%" in out
+        assert "deadline deferred: 0" in out

@@ -17,6 +17,8 @@ from repro.parallel import (
     parallel_item_pcc,
     recommended_workers,
 )
+from repro.serving.errors import WorkerCrashError
+from repro.serving.faults import KillWorkerAlways, KillWorkerOnce, SleepInWorker
 from repro.similarity import item_pcc
 
 
@@ -177,6 +179,85 @@ class TestParallelPredictor:
     def test_invalid_start_method(self, cfsf_small):
         with pytest.raises(ValueError):
             ParallelPredictor(cfsf_small, start_method="thread")
+
+
+@pytest.mark.faults
+class TestWorkerCrashRecovery:
+    """The executor's contract: a killed worker never loses a batch."""
+
+    def test_killed_worker_batch_still_completes(
+        self, cfsf_small, split_small, tmp_path
+    ):
+        users, items, _ = split_small.targets_arrays()
+        users, items = users[:120], items[:120]
+        serial = cfsf_small.predict_many(split_small.given, users, items)
+        hook = KillWorkerOnce(str(tmp_path / "kill.flag")).arm()
+        assert hook.armed
+        with ParallelPredictor(cfsf_small, n_workers=2, worker_hook=hook) as pp:
+            out = pp.predict_many(split_small.given, users, items)
+            assert pp.crash_recoveries >= 1
+            assert pp.inline_fallbacks == 0
+        # The flag was consumed: exactly one worker died, the respawned
+        # pool finished the batch, and the results are bit-identical.
+        assert not hook.armed
+        assert np.allclose(out, serial)
+
+    def test_persistent_crashes_degrade_to_inline(self, cfsf_small, split_small):
+        users, items, _ = split_small.targets_arrays()
+        users, items = users[:60], items[:60]
+        serial = cfsf_small.predict_many(split_small.given, users, items)
+        with ParallelPredictor(
+            cfsf_small,
+            n_workers=2,
+            max_pool_retries=1,
+            worker_hook=KillWorkerAlways(),
+        ) as pp:
+            out = pp.predict_many(split_small.given, users, items)
+            assert pp.crash_recoveries == 2  # initial pool + one respawn
+            assert pp.inline_fallbacks == 1
+        assert np.allclose(out, serial)
+
+    def test_inline_fallback_disabled_raises_typed_error(
+        self, cfsf_small, split_small
+    ):
+        users, items, _ = split_small.targets_arrays()
+        with ParallelPredictor(
+            cfsf_small,
+            n_workers=2,
+            max_pool_retries=0,
+            inline_fallback=False,
+            worker_hook=KillWorkerAlways(),
+        ) as pp:
+            with pytest.raises(WorkerCrashError) as excinfo:
+                pp.predict_many(split_small.given, users[:40], items[:40])
+        assert isinstance(excinfo.value, RuntimeError)
+
+    def test_slow_workers_still_complete(self, cfsf_small, split_small):
+        users, items, _ = split_small.targets_arrays()
+        users, items = users[:40], items[:40]
+        with ParallelPredictor(
+            cfsf_small, n_workers=2, worker_hook=SleepInWorker(0.05)
+        ) as pp:
+            out = pp.predict_many(split_small.given, users, items)
+        assert np.allclose(
+            out, cfsf_small.predict_many(split_small.given, users, items)
+        )
+
+    def test_stats_counters(self, cfsf_small, split_small):
+        users, items, _ = split_small.targets_arrays()
+        with ParallelPredictor(cfsf_small, n_workers=2) as pp:
+            pp.predict_many(split_small.given, users[:20], items[:20])
+            stats = pp.stats()
+            assert stats == {
+                "crash_recoveries": 0,
+                "inline_fallbacks": 0,
+                "pool_alive": 1,
+            }
+        assert pp.stats()["pool_alive"] == 0
+
+    def test_negative_retries_rejected(self, cfsf_small):
+        with pytest.raises(ValueError):
+            ParallelPredictor(cfsf_small, max_pool_retries=-1)
 
 
 class TestRecommendedWorkers:

@@ -1,0 +1,202 @@
+"""Unit tests for the circuit breaker guarding fallback-chain stages.
+
+Every transition is pinned deterministically: the clock is a
+:class:`~repro.serving.faults.ManualClock` and the jitter RNG is
+seeded, so these tests never sleep and never flake.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving import CircuitBreaker, CircuitState
+from repro.serving.faults import ManualClock
+
+
+def make_breaker(clock, **overrides) -> CircuitBreaker:
+    kwargs = dict(
+        failure_threshold=3,
+        reset_timeout=1.0,
+        backoff_factor=2.0,
+        max_reset_timeout=60.0,
+        jitter=0.0,
+        rng=0,
+    )
+    kwargs.update(overrides)
+    return CircuitBreaker("stage", clock=clock, **kwargs)
+
+
+class TestClosedState:
+    def test_starts_closed_and_allows(self):
+        br = make_breaker(ManualClock())
+        assert br.state is CircuitState.CLOSED
+        assert br.allow()
+        assert br.retry_in() == 0.0
+
+    def test_failures_below_threshold_stay_closed(self):
+        br = make_breaker(ManualClock())
+        br.record_failure()
+        br.record_failure()
+        assert br.state is CircuitState.CLOSED
+        assert br.allow()
+
+    def test_success_resets_consecutive_count(self):
+        br = make_breaker(ManualClock())
+        br.record_failure()
+        br.record_failure()
+        br.record_success()
+        br.record_failure()
+        br.record_failure()
+        assert br.state is CircuitState.CLOSED
+        assert br.consecutive_failures == 2
+        assert br.failures == 4 and br.successes == 1
+
+
+class TestTripping:
+    def test_threshold_consecutive_failures_trip_open(self):
+        br = make_breaker(ManualClock())
+        for _ in range(3):
+            br.record_failure()
+        assert br.state is CircuitState.OPEN
+        assert not br.allow()
+        assert br.open_count == 1
+
+    def test_retry_in_counts_down_with_the_clock(self):
+        clock = ManualClock()
+        br = make_breaker(clock)
+        for _ in range(3):
+            br.record_failure()
+        assert br.retry_in() == pytest.approx(1.0)
+        clock.advance(0.4)
+        assert br.retry_in() == pytest.approx(0.6)
+
+    def test_custom_threshold(self):
+        br = make_breaker(ManualClock(), failure_threshold=1)
+        br.record_failure()
+        assert br.state is CircuitState.OPEN
+
+
+class TestHalfOpenProbe:
+    def test_half_opens_after_delay(self):
+        clock = ManualClock()
+        br = make_breaker(clock)
+        for _ in range(3):
+            br.record_failure()
+        assert not br.allow()
+        clock.advance(1.0)
+        assert br.allow()
+        assert br.state is CircuitState.HALF_OPEN
+
+    def test_probe_success_closes_and_resets_backoff(self):
+        clock = ManualClock()
+        br = make_breaker(clock)
+        for _ in range(3):
+            br.record_failure()
+        clock.advance(1.0)
+        assert br.allow()
+        br.record_success()
+        assert br.state is CircuitState.CLOSED
+        # Backoff streak reset: the next trip is back to the base delay.
+        for _ in range(3):
+            br.record_failure()
+        assert br.last_delay == pytest.approx(1.0)
+
+    def test_probe_failure_reopens_with_doubled_delay(self):
+        clock = ManualClock()
+        br = make_breaker(clock)
+        for _ in range(3):
+            br.record_failure()          # open, delay 1.0
+        clock.advance(1.0)
+        assert br.allow()                # half-open probe
+        br.record_failure()              # probe fails -> re-open, delay 2.0
+        assert br.state is CircuitState.OPEN
+        assert br.last_delay == pytest.approx(2.0)
+        clock.advance(2.0)
+        assert br.allow()
+        br.record_failure()              # delay 4.0
+        assert br.last_delay == pytest.approx(4.0)
+        assert br.open_count == 3
+
+    def test_backoff_capped_at_max_reset_timeout(self):
+        clock = ManualClock()
+        br = make_breaker(clock, max_reset_timeout=3.0)
+        for _ in range(3):
+            br.record_failure()          # 1.0
+        for expected in (2.0, 3.0, 3.0):  # 4.0 would exceed the cap
+            clock.advance(br.last_delay)
+            assert br.allow()
+            br.record_failure()
+            assert br.last_delay == pytest.approx(expected)
+
+
+class TestJitter:
+    def test_jittered_delay_within_bounds(self):
+        clock = ManualClock()
+        br = make_breaker(clock, jitter=0.5, rng=7)
+        for _ in range(3):
+            br.record_failure()
+        assert 1.0 <= br.last_delay < 1.5
+
+    def test_same_seed_same_delays(self):
+        delays = []
+        for _ in range(2):
+            clock = ManualClock()
+            br = make_breaker(clock, jitter=0.3, rng=42)
+            for _ in range(3):
+                br.record_failure()
+            first = br.last_delay
+            clock.advance(first)
+            br.allow()
+            br.record_failure()
+            delays.append((first, br.last_delay))
+        assert delays[0] == delays[1]
+
+    def test_different_seeds_decorrelate_probes(self):
+        def trip_delay(seed: int) -> float:
+            br = make_breaker(ManualClock(), jitter=1.0, rng=seed)
+            for _ in range(3):
+                br.record_failure()
+            return br.last_delay
+
+        assert trip_delay(0) != trip_delay(1)
+
+
+class TestIntrospection:
+    def test_snapshot_contents(self):
+        clock = ManualClock()
+        br = make_breaker(clock)
+        br.record_success()
+        for _ in range(3):
+            br.record_failure()
+        snap = br.snapshot()
+        assert snap["name"] == "stage"
+        assert snap["state"] == "open"
+        assert snap["failures"] == 3
+        assert snap["successes"] == 1
+        assert snap["consecutive_failures"] == 3
+        assert snap["open_count"] == 1
+        assert snap["retry_in"] == pytest.approx(1.0)
+
+    def test_repr_mentions_state(self):
+        br = make_breaker(ManualClock())
+        assert "closed" in repr(br)
+
+    def test_state_enum_values_are_strings(self):
+        assert CircuitState.OPEN.value == "open"
+        assert CircuitState.HALF_OPEN.value == "half_open"
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failure_threshold": 0},
+            {"reset_timeout": 0.0},
+            {"reset_timeout": -1.0},
+            {"backoff_factor": 0.5},
+            {"jitter": -0.1},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises((ValueError, TypeError)):
+            make_breaker(ManualClock(), **kwargs)
