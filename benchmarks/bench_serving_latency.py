@@ -1,0 +1,103 @@
+"""Seed of the serving-latency perf trajectory (``BENCH_serving_latency.json``).
+
+Fits a small synthetic CFSF, drives ``predict_many`` through
+:class:`~repro.serving.PredictionService` in many small batches (the
+live-traffic shape: one batch ≈ one request burst), and writes the
+p50/p95/p99 of the ``serving.request.latency`` histogram — the
+paper's Fig. 5 metric, measured through the same
+:mod:`repro.obs` path the serving layer itself records — to
+``BENCH_serving_latency.json`` at the repo root.
+
+Future performance PRs regenerate the file and diff the percentiles;
+the offline span durations (``model.fit`` and children) ride along so
+offline-phase regressions are visible from the same artefact.
+
+Run standalone (``python benchmarks/bench_serving_latency.py``) or via
+``pytest benchmarks/bench_serving_latency.py -s``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core import CFSF
+from repro.data import default_dataset, make_split
+from repro.obs import MetricsRegistry, use_registry
+from repro.serving import PredictionService
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_serving_latency.json"
+
+#: Bench geometry: small enough to finish in seconds, large enough
+#: that the latency histogram has a meaningful tail.
+TRAIN_SIZE = 200
+GIVEN_N = 10
+BATCH_SIZE = 20
+MAX_BATCHES = 60
+SEED = 0
+
+
+def run_bench(output_path: Path | None = OUTPUT_PATH) -> dict:
+    """Run the instrumented serving pass; write and return the payload."""
+    registry = MetricsRegistry()
+    ratings = default_dataset(seed=SEED)
+    split = make_split(ratings, n_train_users=TRAIN_SIZE, given_n=GIVEN_N, seed=SEED)
+    with use_registry(registry):
+        model = CFSF().fit(split.train)
+    service = PredictionService(model, metrics=registry)
+
+    users, items, _ = split.targets_arrays()
+    n_batches = 0
+    for start in range(0, users.size, BATCH_SIZE):
+        if n_batches >= MAX_BATCHES:
+            break
+        service.predict_many(
+            split.given, users[start : start + BATCH_SIZE], items[start : start + BATCH_SIZE]
+        )
+        n_batches += 1
+
+    latency = registry.histogram("serving.request.latency")
+    fit_spans = {
+        rec["name"]: rec["duration"]
+        for rec in registry.spans()
+        if rec["name"] in ("model.fit", "gis.build", "cluster.fit", "smooth.apply", "icluster.build")
+    }
+    payload = {
+        "benchmark": "serving_latency",
+        "seed": SEED,
+        "n_train_users": TRAIN_SIZE,
+        "given_n": GIVEN_N,
+        "batch_size": BATCH_SIZE,
+        "batches": n_batches,
+        "requests": int(registry.counter_value("serving.requests")),
+        "count": latency.count,
+        "p50": latency.quantile(0.50),
+        "p95": latency.quantile(0.95),
+        "p99": latency.quantile(0.99),
+        "mean": latency.mean,
+        "min": latency.min,
+        "max": latency.max,
+        "offline_fit_seconds": fit_spans,
+    }
+    if output_path is not None:
+        output_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def test_bench_serving_latency():
+    """Regenerate the artefact and sanity-check its shape."""
+    payload = run_bench()
+    assert payload["count"] == payload["batches"] > 0
+    assert 0.0 < payload["p50"] <= payload["p95"] <= payload["p99"]
+    assert set(payload["offline_fit_seconds"]) >= {"model.fit", "gis.build"}
+    print(
+        f"\nserving latency per batch of {payload['batch_size']}: "
+        f"p50={payload['p50'] * 1e3:.2f}ms p95={payload['p95'] * 1e3:.2f}ms "
+        f"p99={payload['p99'] * 1e3:.2f}ms -> {OUTPUT_PATH.name}"
+    )
+
+
+if __name__ == "__main__":
+    result = run_bench()
+    print(json.dumps(result, indent=2, sort_keys=True))

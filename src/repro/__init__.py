@@ -22,6 +22,10 @@ Public API highlights
 :mod:`repro.serving`
     Fault-tolerant serving layer: fallback chain, circuit breakers,
     deadlines, hot snapshot reload, fault-injection harness.
+:mod:`repro.obs`
+    Observability: thread-safe metrics registry (counters, gauges,
+    histograms), tracing spans over the offline pipeline, and JSON /
+    Prometheus exposition.
 """
 
 from repro.baselines import (
@@ -56,6 +60,7 @@ from repro.data import (
     paper_grid,
 )
 from repro.eval import evaluate, mae, rmse
+from repro.obs import MetricsRegistry, use_registry
 from repro.parallel import ParallelPredictor
 from repro.serving import PredictionService, ServingResult
 
@@ -71,6 +76,7 @@ __all__ = [
     "ItemBasedCF",
     "MatrixFactorization",
     "MeanPredictor",
+    "MetricsRegistry",
     "ParallelPredictor",
     "PersonalityDiagnosis",
     "PredictionService",
@@ -94,4 +100,5 @@ __all__ = [
     "recommend_top_n",
     "rmse",
     "save_model",
+    "use_registry",
 ]

@@ -14,6 +14,8 @@ can be regenerated without writing Python:
 ``tune``           Grid-search CFSF online parameters.
 ``serve``          Fault-tolerant batch serving through the fallback
                    chain (optionally with injected faults).
+``metrics``        Run an instrumented fit + serving pass and print
+                   the metrics snapshot (JSON or Prometheus text).
 =================  ====================================================
 
 Every command accepts ``--seed`` (default 0) and ``--train-sizes`` /
@@ -163,6 +165,25 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["none", "stage-failure", "latency", "poison-given", "corrupt-snapshot"],
         default="none",
         help="fault to inject before serving (demonstrates degradation)",
+    )
+
+    p = sub.add_parser(
+        "metrics",
+        help="instrumented fit + serving pass; print the metrics snapshot",
+    )
+    p.add_argument(
+        "--format", choices=["json", "prometheus"], default="json",
+        help="exposition format (default json)",
+    )
+    p.add_argument("--train-size", type=int, default=100)
+    p.add_argument("--given-n", type=int, default=10)
+    p.add_argument(
+        "--requests", type=int, default=200, help="number of predictions to serve"
+    )
+    p.add_argument(
+        "--batches", type=int, default=4,
+        help="serve the requests in this many batches (populates the "
+             "latency histogram with several samples)",
     )
     return parser
 
@@ -353,6 +374,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import MetricsRegistry, render_json, render_prometheus, use_registry
+
+    registry = MetricsRegistry()
+    ratings = default_dataset(seed=args.seed)
+    split = make_split(
+        ratings, n_train_users=args.train_size, given_n=args.given_n, seed=args.seed
+    )
+    # The offline phase runs under the registry so the fit spans
+    # (model.fit -> gis.build / cluster.fit / smooth.apply /
+    # icluster.build) land in the snapshot alongside the serving
+    # metrics.
+    with use_registry(registry):
+        model = CFSF().fit(split.train)
+    service = PredictionService(model, metrics=registry)
+
+    users, items, _ = split.targets_arrays()
+    n = min(max(args.requests, 1), users.size)
+    step = max(1, -(-n // max(1, args.batches)))  # ceil division
+    for start in range(0, n, step):
+        service.predict_many(
+            split.given, users[start : start + step], items[start : start + step]
+        )
+
+    if args.format == "prometheus":
+        print(render_prometheus(registry), end="")
+    else:
+        print(render_json(registry))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -374,6 +426,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_recommend(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

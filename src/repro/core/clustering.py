@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.data.matrix import RatingMatrix
+from repro.obs import span
 from repro.similarity import Centering, pcc_to_rows
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive_int
@@ -150,6 +151,29 @@ def cluster_users(
     >>> int(clusters.sizes().min()) >= 1
     True
     """
+    with span("cluster.fit", n_clusters=n_clusters, max_iter=max_iter) as sp:
+        clusters = _cluster_users_impl(
+            train,
+            n_clusters,
+            seed=seed,
+            max_iter=max_iter,
+            centering=centering,
+            min_overlap=min_overlap,
+        )
+        sp.set(n_iter=clusters.n_iter, converged=clusters.converged)
+        return clusters
+
+
+def _cluster_users_impl(
+    train: RatingMatrix,
+    n_clusters: int,
+    *,
+    seed: int | np.random.Generator | None,
+    max_iter: int,
+    centering: Centering,
+    min_overlap: int,
+) -> UserClusters:
+    """The K-means loop behind :func:`cluster_users`."""
     check_positive_int(n_clusters, "n_clusters")
     check_positive_int(max_iter, "max_iter")
     rng = as_generator(seed)

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.data.matrix import RatingMatrix
+from repro.obs import span
 from repro.similarity import Centering, apply_threshold, item_pcc
 from repro.utils.validation import check_positive_int
 
@@ -116,17 +117,20 @@ def build_gis(
     >>> bool((sims[:-1] >= sims[1:]).all())   # descending
     True
     """
-    sim = item_pcc(train.values, train.mask, centering=centering, min_overlap=min_overlap)
-    sim = apply_threshold(sim, threshold)
-    # Descending argsort per row with self excluded.  `stable` keeps
-    # deterministic output under ties (common after thresholding).
-    Q = sim.shape[0]
-    masked = sim.copy()
-    np.fill_diagonal(masked, -np.inf)
-    order = np.argsort(-masked, axis=1, kind="stable")[:, : Q - 1]
-    return GlobalItemSimilarity(
-        sim=sim,
-        neighbours=order.astype(np.intp),
-        threshold=float(threshold),
-        centering=centering,
-    )
+    with span("gis.build", n_items=train.n_items, threshold=threshold) as sp:
+        sim = item_pcc(train.values, train.mask, centering=centering, min_overlap=min_overlap)
+        sim = apply_threshold(sim, threshold)
+        # Descending argsort per row with self excluded.  `stable` keeps
+        # deterministic output under ties (common after thresholding).
+        Q = sim.shape[0]
+        masked = sim.copy()
+        np.fill_diagonal(masked, -np.inf)
+        order = np.argsort(-masked, axis=1, kind="stable")[:, : Q - 1]
+        gis = GlobalItemSimilarity(
+            sim=sim,
+            neighbours=order.astype(np.intp),
+            threshold=float(threshold),
+            centering=centering,
+        )
+        sp.set(sparsity=gis.sparsity())
+        return gis

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.smoothing import SmoothedRatings
+from repro.obs import span
 
 __all__ = ["IClusterIndex", "build_icluster", "user_cluster_affinity"]
 
@@ -156,16 +157,17 @@ def build_icluster(smoothed: SmoothedRatings, train_mask: np.ndarray, train_valu
         The *original* training mask/values — Eq. 9 runs on observed
         ratings, not smoothed ones.
     """
-    affinity = user_cluster_affinity(
-        train_values,
-        train_mask,
-        smoothed.user_means,
-        smoothed.deviations,
-        smoothed.deviation_counts,
-    )
-    ranking = np.argsort(-affinity, axis=1, kind="stable").astype(np.intp)
-    L = smoothed.n_clusters
-    members = tuple(
-        np.nonzero(smoothed.labels == c)[0].astype(np.intp) for c in range(L)
-    )
-    return IClusterIndex(affinity=affinity, ranking=ranking, cluster_members=members)
+    with span("icluster.build", n_clusters=smoothed.n_clusters):
+        affinity = user_cluster_affinity(
+            train_values,
+            train_mask,
+            smoothed.user_means,
+            smoothed.deviations,
+            smoothed.deviation_counts,
+        )
+        ranking = np.argsort(-affinity, axis=1, kind="stable").astype(np.intp)
+        L = smoothed.n_clusters
+        members = tuple(
+            np.nonzero(smoothed.labels == c)[0].astype(np.intp) for c in range(L)
+        )
+        return IClusterIndex(affinity=affinity, ranking=ranking, cluster_members=members)

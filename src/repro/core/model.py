@@ -53,6 +53,7 @@ from repro.core.local_matrix import LocalMatrix, build_local_matrix
 from repro.core.selection import TopKUsers, select_top_k_users
 from repro.core.smoothing import SmoothedRatings, smooth_ratings
 from repro.data.matrix import RatingMatrix
+from repro.obs import span
 from repro.serving.errors import InvalidRequestError
 from repro.utils.cache import LRUCache
 
@@ -110,30 +111,40 @@ class CFSF(Recommender):
     # Offline phase
     # ------------------------------------------------------------------
     def fit(self, train: RatingMatrix) -> "CFSF":
-        """Run the offline phase (GIS, clustering, smoothing, iCluster)."""
+        """Run the offline phase (GIS, clustering, smoothing, iCluster).
+
+        Each stage is traced as a child span of ``model.fit``
+        (``gis.build``, ``cluster.fit``, ``smooth.apply``,
+        ``icluster.build``) when an observability registry is active —
+        see :mod:`repro.obs` — so per-stage offline timings are
+        measurable without ad-hoc stopwatches.
+        """
         super().fit(train)
         cfg = self.config
-        self.gis = build_gis(
-            train,
-            threshold=cfg.gis_threshold,
-            centering=cfg.centering,
-            min_overlap=cfg.min_overlap,
-        )
-        self.clusters = cluster_users(
-            train,
-            cfg.n_clusters,
-            seed=cfg.kmeans_seed,
-            max_iter=cfg.kmeans_max_iter,
-            centering=cfg.centering,
-            min_overlap=cfg.min_overlap,
-        )
-        self.smoothed = smooth_ratings(
-            train,
-            self.clusters.labels,
-            self.clusters.n_clusters,
-            shrinkage=cfg.smoothing_shrinkage,
-        )
-        self.icluster = build_icluster(self.smoothed, train.mask, train.values)
+        with span(
+            "model.fit", model=self.name, n_users=train.n_users, n_items=train.n_items
+        ):
+            self.gis = build_gis(
+                train,
+                threshold=cfg.gis_threshold,
+                centering=cfg.centering,
+                min_overlap=cfg.min_overlap,
+            )
+            self.clusters = cluster_users(
+                train,
+                cfg.n_clusters,
+                seed=cfg.kmeans_seed,
+                max_iter=cfg.kmeans_max_iter,
+                centering=cfg.centering,
+                min_overlap=cfg.min_overlap,
+            )
+            self.smoothed = smooth_ratings(
+                train,
+                self.clusters.labels,
+                self.clusters.n_clusters,
+                shrinkage=cfg.smoothing_shrinkage,
+            )
+            self.icluster = build_icluster(self.smoothed, train.mask, train.values)
         self._item_means = train.item_means()
         self._global_mean = train.global_mean()
         self._cache.clear()

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.data.matrix import RatingMatrix
+from repro.obs import span
 from repro.utils.validation import check_positive_int
 
 __all__ = ["SmoothedRatings", "smooth_ratings", "cluster_deviations"]
@@ -167,17 +168,20 @@ def smooth_ratings(
     >>> float(sm.values[0, 0])   # original rating preserved
     5.0
     """
-    deviations, counts = cluster_deviations(train, labels, n_clusters, shrinkage=shrinkage)
-    user_means = train.user_means()
-    smoothed = user_means[:, None] + deviations[np.asarray(labels, dtype=np.intp)]
-    lo, hi = train.rating_scale
-    np.clip(smoothed, lo, hi, out=smoothed)
-    values = np.where(train.mask, train.values, smoothed)
-    return SmoothedRatings(
-        values=values,
-        observed_mask=train.mask.copy(),
-        deviations=deviations,
-        deviation_counts=counts,
-        user_means=user_means,
-        labels=np.asarray(labels, dtype=np.intp).copy(),
-    )
+    with span("smooth.apply", n_clusters=n_clusters, shrinkage=shrinkage) as sp:
+        deviations, counts = cluster_deviations(train, labels, n_clusters, shrinkage=shrinkage)
+        user_means = train.user_means()
+        smoothed = user_means[:, None] + deviations[np.asarray(labels, dtype=np.intp)]
+        lo, hi = train.rating_scale
+        np.clip(smoothed, lo, hi, out=smoothed)
+        values = np.where(train.mask, train.values, smoothed)
+        result = SmoothedRatings(
+            values=values,
+            observed_mask=train.mask.copy(),
+            deviations=deviations,
+            deviation_counts=counts,
+            user_means=user_means,
+            labels=np.asarray(labels, dtype=np.intp).copy(),
+        )
+        sp.set(smoothed_fraction=result.smoothed_fraction())
+        return result

@@ -1,0 +1,605 @@
+"""The in-process metrics registry (counters, gauges, histograms, spans).
+
+Observability for a serving system has to satisfy two masters at once:
+
+* **When enabled** it must answer the operational questions a live
+  CFSF deployment raises — how many requests, how slow, which
+  fallback stage served them, how long a breaker stayed open, where
+  the offline fit spends its time (GIS build vs clustering vs
+  smoothing, the phases the paper pushes offline precisely because
+  they dominate cost).
+* **When disabled** it must cost *nothing*: every instrumentation
+  site in the hot path guards itself with a single attribute check
+  (``registry.enabled``) and the ambient default is a
+  :class:`NullRegistry` whose metric handles are shared no-ops.
+
+Design constraints, deliberately:
+
+* **Stdlib only.**  The registry is imported by every layer
+  (``serving``, ``parallel``, ``core``, ``cli``); it must not drag
+  numpy into contexts that only want a counter, and its snapshots
+  must pickle across process boundaries unaided.
+* **One lock.**  All mutation goes through a single registry
+  :class:`threading.RLock`.  At serving's block granularity (one
+  observation per batch, not per request) contention is negligible,
+  and it makes :meth:`MetricsRegistry.drain` — snapshot *and* reset,
+  atomically — trivially correct, which the cross-process delta
+  protocol depends on (no lost or double-counted samples).
+* **Injectable clock.**  The same :class:`~repro.serving.faults.
+  ManualClock` that makes deadline and backoff behaviour exact under
+  test also drives span durations and breaker open-times here.
+
+The delta protocol: a worker process records into its own registry,
+:meth:`~MetricsRegistry.drain`\\ s it after each task, and ships the
+plain-dict delta home with the task result; the parent
+:meth:`~MetricsRegistry.merge`\\ s it.  Counters add, gauges take the
+latest value, histograms add bucket counts, spans append.  The dict
+is also exactly what the exposition formats
+(:mod:`repro.obs.exposition`) consume.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextvars import ContextVar
+from typing import Any, Callable, Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Span",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Default histogram buckets (seconds), tuned for online-serving
+#: latencies: sub-millisecond block predictions up to multi-second
+#: offline phases land in distinct buckets.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Ambient span stack (names of open spans, outermost first).  Shared
+#: across registries: nesting is a property of control flow, not of
+#: which registry records the span.
+_SPAN_STACK: ContextVar[tuple[str, ...]] = ContextVar("repro_obs_span_stack", default=())
+
+
+def _coerce_attr(value: Any) -> Any:
+    """Make a span/label attribute JSON- and pickle-friendly."""
+    if value is None or type(value) in (bool, int, float, str):
+        return value
+    if hasattr(value, "item"):  # numpy scalars, without importing numpy
+        try:
+            return value.item()
+        except Exception:  # pragma: no cover - exotic array-likes
+            pass
+    for base in (bool, int, float, str):  # plain subclasses (e.g. IntEnum)
+        if isinstance(value, base):
+            return base(value)
+    return str(value)
+
+
+def _labels_key(labels: dict[str, Any]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count.  Thread-safe via the registry lock."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value", "_lock")
+
+    def __init__(self, name: str, labels: dict[str, str], lock: threading.RLock) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self._lock = lock
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (>= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        with self._lock:
+            self.value += amount
+
+    def _reset(self) -> None:
+        self.value = 0.0
+
+    def _snapshot(self) -> dict:
+        return {"name": self.name, "labels": dict(self.labels), "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (last write wins on merge)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value", "_lock")
+
+    def __init__(self, name: str, labels: dict[str, str], lock: threading.RLock) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        """Replace the gauge value."""
+        with self._lock:
+            self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        """Shift the gauge value by *amount* (may be negative)."""
+        with self._lock:
+            self.value += amount
+
+    def _reset(self) -> None:
+        self.value = 0.0
+
+    def _snapshot(self) -> dict:
+        return {"name": self.name, "labels": dict(self.labels), "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with percentile estimates.
+
+    Buckets are upper bounds (ascending); an implicit ``+Inf`` bucket
+    catches the tail.  Exact ``sum``/``count``/``min``/``max`` are kept
+    alongside, so :meth:`quantile` can clamp its linear interpolation
+    to the observed range — the standard Prometheus
+    ``histogram_quantile`` estimate, but never outside [min, max].
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count", "min", "max", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        labels: dict[str, str],
+        lock: threading.RLock,
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"histogram buckets must be non-empty and ascending: {bounds}")
+        self.name = name
+        self.labels = labels
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # + the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        with self._lock:
+            idx = self._bucket_index(value)
+            self.counts[idx] += 1
+            self.sum += value
+            self.count += 1
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    def _bucket_index(self, value: float) -> int:
+        # Linear scan: bucket lists are short (~15) and this avoids a
+        # bisect import dance; observe() is called per batch, not per
+        # request.
+        for idx, bound in enumerate(self.buckets):
+            if value <= bound:
+                return idx
+        return len(self.buckets)
+
+    @property
+    def mean(self) -> float:
+        """Exact arithmetic mean of the samples (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the *q*-quantile from bucket counts (0 when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            target = q * self.count
+            cumulative = 0.0
+            lower = 0.0
+            for bound, c in zip(self.buckets, self.counts):
+                if c and cumulative + c >= target:
+                    frac = (target - cumulative) / c
+                    est = lower + (bound - lower) * frac
+                    return self._clamp(est)
+                if c:
+                    cumulative += c
+                lower = bound
+            # Landed in the +Inf bucket: the best estimate is the max.
+            return self._clamp(self.max if self.max is not None else lower)
+
+    def _clamp(self, value: float) -> float:
+        if self.min is not None:
+            value = max(value, self.min)
+        if self.max is not None:
+            value = min(value, self.max)
+        return value
+
+    def _reset(self) -> None:
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.min = None
+        self.max = None
+
+    def _snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+class Span:
+    """One timed region with parent/child nesting and attributes.
+
+    Entering pushes the span name onto the ambient stack (so inner
+    spans know their parent); exiting records ``{name, parent, depth,
+    start, duration, attrs}`` into the registry and observes the
+    duration in the ``span.<name>`` histogram.
+    """
+
+    __slots__ = ("name", "attrs", "_registry", "_start", "_token", "_parent", "_depth")
+
+    def __init__(self, registry: "MetricsRegistry", name: str, attrs: dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = {k: _coerce_attr(v) for k, v in attrs.items()}
+        self._registry = registry
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes mid-span (e.g. iteration counts known late)."""
+        for key, value in attrs.items():
+            self.attrs[key] = _coerce_attr(value)
+        return self
+
+    def __enter__(self) -> "Span":
+        stack = _SPAN_STACK.get()
+        self._parent = stack[-1] if stack else None
+        self._depth = len(stack)
+        self._token = _SPAN_STACK.set(stack + (self.name,))
+        self._start = self._registry._clock()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        duration = self._registry._clock() - self._start
+        _SPAN_STACK.reset(self._token)
+        self._registry._record_span(
+            {
+                "name": self.name,
+                "parent": self._parent,
+                "depth": self._depth,
+                "start": self._start,
+                "duration": duration,
+                "attrs": dict(self.attrs),
+            }
+        )
+
+
+class MetricsRegistry:
+    """Thread-safe home for counters, gauges, histograms, and spans.
+
+    Parameters
+    ----------
+    clock:
+        Time source for span durations (injectable; pair with
+        :class:`repro.serving.faults.ManualClock` for exact tests).
+    max_spans:
+        Bound on retained span records; oldest are dropped first so a
+        long-lived service cannot leak memory through tracing.
+
+    Examples
+    --------
+    >>> reg = MetricsRegistry()
+    >>> reg.counter("requests").inc(3)
+    >>> with reg.span("fit") as sp:
+    ...     _ = sp.set(phase="offline")
+    >>> reg.counter("requests").value
+    3.0
+    >>> reg.snapshot()["spans"][0]["name"]
+    'fit'
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+        max_spans: int = 1000,
+    ) -> None:
+        self._clock = clock
+        self.max_spans = int(max_spans)
+        self._lock = threading.RLock()
+        self._metrics: dict[tuple[str, tuple[tuple[str, str], ...]], Any] = {}
+        self._kinds: dict[str, str] = {}
+        self._spans: list[dict] = []
+
+    # ------------------------------------------------------------------
+    # Metric handles (get-or-create)
+    # ------------------------------------------------------------------
+    def _get(self, cls, name: str, labels: dict[str, Any], **kwargs):
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        clean = {k: str(v) for k, v in labels.items()}
+        key = (name, _labels_key(clean))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                kind = self._kinds.get(name)
+                if kind is not None and kind != cls.kind:
+                    raise ValueError(
+                        f"metric {name!r} already registered as a {kind}, not a {cls.kind}"
+                    )
+                metric = cls(name, clean, self._lock, **kwargs)
+                self._metrics[key] = metric
+                self._kinds[name] = cls.kind
+                return metric
+            if metric.kind != cls.kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {metric.kind}, "
+                    f"not a {cls.kind}"
+                )
+            if kwargs.get("buckets") is not None and tuple(
+                float(b) for b in kwargs["buckets"]
+            ) != metric.buckets:
+                raise ValueError(
+                    f"histogram {name!r} already registered with buckets {metric.buckets}"
+                )
+            return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """Get or create the counter ``name`` with the given labels."""
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """Get or create the gauge ``name`` with the given labels."""
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        buckets: Iterable[float] | None = None,
+        **labels: Any,
+    ) -> Histogram:
+        """Get or create the histogram ``name`` (buckets fixed at creation)."""
+        if buckets is None:
+            return self._get(Histogram, name, labels)
+        return self._get(Histogram, name, labels, buckets=tuple(buckets))
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """A context manager timing a named region (see :class:`Span`)."""
+        if not name:
+            raise ValueError("span name must be non-empty")
+        return Span(self, name, attrs)
+
+    def _record_span(self, record: dict) -> None:
+        with self._lock:
+            self._spans.append(record)
+            if len(self._spans) > self.max_spans:
+                del self._spans[: len(self._spans) - self.max_spans]
+        self.histogram(f"span.{record['name']}").observe(record["duration"])
+
+    # ------------------------------------------------------------------
+    # Snapshot / delta protocol
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A JSON-able, picklable view of everything recorded so far."""
+        with self._lock:
+            out: dict[str, Any] = {"counters": [], "gauges": [], "histograms": []}
+            for metric in self._metrics.values():
+                out[metric.kind + "s"].append(metric._snapshot())
+            out["spans"] = [dict(rec, attrs=dict(rec["attrs"])) for rec in self._spans]
+            return out
+
+    def drain(self) -> dict:
+        """Snapshot then reset, atomically — the worker-side delta step.
+
+        Counters/histograms restart from zero and spans are cleared, so
+        consecutive drains partition the sample stream: merging every
+        delta exactly once reconstructs the registry with no loss and
+        no double counting.
+        """
+        with self._lock:
+            snap = self.snapshot()
+            for metric in self._metrics.values():
+                metric._reset()
+            self._spans.clear()
+            return snap
+
+    def merge(self, delta: dict) -> None:
+        """Fold a :meth:`snapshot`/:meth:`drain` delta into this registry.
+
+        Counters add; gauges take the delta's value; histograms add
+        bucket counts (bucket bounds must match); spans append.
+        """
+        if not delta:
+            return
+        with self._lock:
+            for rec in delta.get("counters", ()):
+                self.counter(rec["name"], **rec["labels"]).value += rec["value"]
+            for rec in delta.get("gauges", ()):
+                self.gauge(rec["name"], **rec["labels"]).value = rec["value"]
+            for rec in delta.get("histograms", ()):
+                hist = self.histogram(
+                    rec["name"], buckets=tuple(rec["buckets"]), **rec["labels"]
+                )
+                for idx, c in enumerate(rec["counts"]):
+                    hist.counts[idx] += c
+                hist.sum += rec["sum"]
+                hist.count += rec["count"]
+                if rec["min"] is not None and (hist.min is None or rec["min"] < hist.min):
+                    hist.min = rec["min"]
+                if rec["max"] is not None and (hist.max is None or rec["max"] > hist.max):
+                    hist.max = rec["max"]
+            for rec in delta.get("spans", ()):
+                self._spans.append(dict(rec))
+            if len(self._spans) > self.max_spans:
+                del self._spans[: len(self._spans) - self.max_spans]
+
+    def reset(self) -> None:
+        """Zero every metric and clear spans (metric handles survive)."""
+        with self._lock:
+            for metric in self._metrics.values():
+                metric._reset()
+            self._spans.clear()
+
+    # ------------------------------------------------------------------
+    # Introspection conveniences (tests, health endpoints)
+    # ------------------------------------------------------------------
+    def counter_value(self, name: str, **labels: Any) -> float:
+        """Current value of a counter (0.0 if never touched)."""
+        key = (name, _labels_key({k: str(v) for k, v in labels.items()}))
+        with self._lock:
+            metric = self._metrics.get(key)
+            return metric.value if metric is not None else 0.0
+
+    def spans(self, name: str | None = None) -> list[dict]:
+        """Recorded span records, optionally filtered by name."""
+        with self._lock:
+            if name is None:
+                return [dict(rec) for rec in self._spans]
+            return [dict(rec) for rec in self._spans if rec["name"] == name]
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"MetricsRegistry(metrics={len(self._metrics)}, "
+                f"spans={len(self._spans)})"
+            )
+
+
+# ----------------------------------------------------------------------
+# The disabled path: shared no-op handles, one attribute check to skip
+# ----------------------------------------------------------------------
+class _NullMetric:
+    """Accepts every metric operation and does nothing."""
+
+    __slots__ = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+    mean = 0.0
+    min = None
+    max = None
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, amount: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+
+class _NullSpan:
+    """A reusable no-op context manager standing in for :class:`Span`."""
+
+    __slots__ = ()
+    name = ""
+    attrs: dict = {}
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+_NULL_SPAN = _NullSpan()
+
+
+class NullRegistry:
+    """The default, disabled registry: every handle is a shared no-op.
+
+    Instrumentation sites check ``registry.enabled`` before doing any
+    label formatting or arithmetic, so a disabled system pays one
+    attribute load per site.  The handles are still real objects, so
+    un-guarded calls (cold paths, tests) are safe too.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, **labels: Any) -> _NullMetric:
+        """The shared no-op metric handle."""
+        return _NULL_METRIC
+
+    def gauge(self, name: str, **labels: Any) -> _NullMetric:
+        """The shared no-op metric handle."""
+        return _NULL_METRIC
+
+    def histogram(self, name: str, *, buckets=None, **labels: Any) -> _NullMetric:
+        """The shared no-op metric handle."""
+        return _NULL_METRIC
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        """The shared no-op span context manager."""
+        return _NULL_SPAN
+
+    def snapshot(self) -> dict:
+        """An empty snapshot (same shape as the real one)."""
+        return {"counters": [], "gauges": [], "histograms": [], "spans": []}
+
+    def drain(self) -> dict:
+        """An empty delta; nothing to reset."""
+        return self.snapshot()
+
+    def merge(self, delta: dict) -> None:
+        """Discard the delta."""
+        pass
+
+    def reset(self) -> None:
+        """Nothing to clear."""
+        pass
+
+    def counter_value(self, name: str, **labels: Any) -> float:
+        """Always 0.0 — nothing is ever recorded."""
+        return 0.0
+
+    def spans(self, name: str | None = None) -> list[dict]:
+        """Always empty — spans are never recorded."""
+        return []
+
+    def __repr__(self) -> str:
+        return "NullRegistry()"
+
+
+#: The shared disabled registry every layer defaults to.
+NULL_REGISTRY = NullRegistry()

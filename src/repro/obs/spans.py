@@ -1,0 +1,71 @@
+"""Ambient registry plumbing and the free ``span`` helper.
+
+The offline pipeline (:func:`repro.core.gis.build_gis`,
+:func:`repro.core.clustering.cluster_users`,
+:func:`repro.core.smoothing.smooth_ratings`, ``CFSF.fit``) is called
+from many entry points — the CLI, the benchmark harness, the eval
+protocol driver — and threading a registry argument through every one
+of them would put observability into dozens of signatures that have
+nothing to do with it.  Instead there is one process-wide *ambient*
+registry, defaulting to the no-op :data:`~repro.obs.registry.
+NULL_REGISTRY`; instrumentation sites call :func:`span` (or
+:func:`get_registry`) and callers that want measurements opt in with
+:func:`set_registry` or the scoped :func:`use_registry`.
+
+Explicitly-injected registries (``PredictionService(metrics=...)``)
+always win over the ambient one; the ambient default is only the
+fallback for sites with no injection seam.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry, NullRegistry, Span, _NullSpan
+
+__all__ = ["get_registry", "set_registry", "use_registry", "span"]
+
+_ambient: MetricsRegistry | NullRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry | NullRegistry:
+    """The current ambient registry (the no-op one unless opted in)."""
+    return _ambient
+
+
+def set_registry(registry: MetricsRegistry | NullRegistry | None):
+    """Install *registry* as the ambient one; returns the previous.
+
+    Passing ``None`` restores the disabled default.
+    """
+    global _ambient
+    previous = _ambient
+    _ambient = NULL_REGISTRY if registry is None else registry
+    return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry | NullRegistry) -> Iterator[MetricsRegistry | NullRegistry]:
+    """Scoped :func:`set_registry`: restore the previous registry on exit.
+
+    Examples
+    --------
+    >>> from repro.obs import MetricsRegistry, use_registry, span
+    >>> reg = MetricsRegistry()
+    >>> with use_registry(reg):
+    ...     with span("work"):
+    ...         pass
+    >>> [s["name"] for s in reg.spans()]
+    ['work']
+    """
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+
+
+def span(name: str, **attrs: Any) -> Span | _NullSpan:
+    """Open a span on the ambient registry (no-op when disabled)."""
+    return _ambient.span(name, **attrs)

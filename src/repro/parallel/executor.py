@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Sequence
@@ -45,6 +46,7 @@ import numpy as np
 
 from repro.baselines.base import Recommender
 from repro.data.matrix import RatingMatrix
+from repro.obs import NULL_REGISTRY, MetricsRegistry, get_registry
 from repro.parallel.partition import greedy_partition
 from repro.utils.validation import check_positive_int
 
@@ -56,30 +58,55 @@ __all__ = ["ParallelPredictor", "recommended_workers"]
 _WORKER_MODEL: Recommender | None = None
 _WORKER_GIVEN: RatingMatrix | None = None
 _WORKER_HOOK: Callable[[np.ndarray, np.ndarray], None] | None = None
+# Worker-local registry: tasks record into it and ship drained deltas
+# back with their results; a registry object never crosses the process
+# boundary, only plain-dict snapshots do.
+_WORKER_METRICS = NULL_REGISTRY
 
 
 def _init_worker(
     model: Recommender,
     given: RatingMatrix,
     hook: Callable[[np.ndarray, np.ndarray], None] | None,
+    metrics_enabled: bool = False,
 ) -> None:
     """Pool initializer: pin state and tame BLAS thread fan-out."""
-    global _WORKER_MODEL, _WORKER_GIVEN, _WORKER_HOOK
+    global _WORKER_MODEL, _WORKER_GIVEN, _WORKER_HOOK, _WORKER_METRICS
     os.environ["OMP_NUM_THREADS"] = "1"
     os.environ["OPENBLAS_NUM_THREADS"] = "1"
     os.environ["MKL_NUM_THREADS"] = "1"
     _WORKER_MODEL = model
     _WORKER_GIVEN = given
     _WORKER_HOOK = hook
+    _WORKER_METRICS = MetricsRegistry() if metrics_enabled else NULL_REGISTRY
 
 
-def _predict_chunk(args: tuple[np.ndarray, np.ndarray]) -> np.ndarray:
-    """Worker task: predict one shard of (users, items)."""
-    users, items = args
+def _predict_chunk(
+    args: tuple[np.ndarray, np.ndarray, float | None],
+) -> tuple[np.ndarray, dict | None]:
+    """Worker task: predict one shard of (users, items).
+
+    Returns the predictions plus the drained metric delta (``None``
+    when observability is off).  Queue wait is measured on the wall
+    clock because the submit stamp comes from the parent process;
+    task latency stays on the worker's own ``perf_counter``.
+    """
+    users, items, submitted_at = args
     assert _WORKER_MODEL is not None and _WORKER_GIVEN is not None
+    reg = _WORKER_METRICS
+    if reg.enabled and submitted_at is not None:
+        reg.histogram("parallel.task.queue_wait").observe(
+            max(0.0, time.time() - submitted_at)
+        )
+    start = time.perf_counter()
     if _WORKER_HOOK is not None:
         _WORKER_HOOK(users, items)
-    return _WORKER_MODEL.predict_many(_WORKER_GIVEN, users, items)
+    preds = _WORKER_MODEL.predict_many(_WORKER_GIVEN, users, items)
+    if reg.enabled:
+        reg.histogram("parallel.task.latency").observe(time.perf_counter() - start)
+        reg.counter("parallel.task.requests").inc(int(users.size))
+        return preds, reg.drain()
+    return preds, None
 
 
 def recommended_workers(max_workers: int | None = None) -> int:
@@ -117,6 +144,15 @@ class ParallelPredictor:
         task — the seam the fault-injection harness
         (:mod:`repro.serving.faults`) uses to kill workers or induce
         latency deterministically.
+    metrics:
+        A :class:`~repro.obs.MetricsRegistry` receiving task latency /
+        queue-wait histograms (merged back from workers via the delta
+        protocol) and pool respawn / inline-fallback counters.
+        Defaults to the ambient registry — a no-op unless
+        observability was opted into.  Worker deltas from an attempt
+        that dies in a crash are discarded wholesale and the retried
+        attempt's deltas are merged exactly once, so counts reconcile
+        across crashes.
 
     Examples
     --------
@@ -141,6 +177,7 @@ class ParallelPredictor:
         max_pool_retries: int = 2,
         inline_fallback: bool = True,
         worker_hook: Callable[[np.ndarray, np.ndarray], None] | None = None,
+        metrics=None,
     ) -> None:
         if start_method not in ("fork", "spawn"):
             raise ValueError(f"start_method must be 'fork' or 'spawn', got {start_method!r}")
@@ -154,6 +191,7 @@ class ParallelPredictor:
         self.max_pool_retries = int(max_pool_retries)
         self.inline_fallback = bool(inline_fallback)
         self.worker_hook = worker_hook
+        self.metrics = get_registry() if metrics is None else metrics
         self._pool: ProcessPoolExecutor | None = None
         self._pool_given: RatingMatrix | None = None
         #: Times a broken pool was detected and respawned.
@@ -177,7 +215,7 @@ class ParallelPredictor:
             max_workers=self.n_workers,
             mp_context=ctx,
             initializer=_init_worker,
-            initargs=(self.model, given, self.worker_hook),
+            initargs=(self.model, given, self.worker_hook, self.metrics.enabled),
         )
         self._pool_given = given
         return self._pool
@@ -227,10 +265,15 @@ class ParallelPredictor:
             tasks.append((users[idx], items[idx]))
             request_slices.append(idx)
 
+        batch_start = time.perf_counter() if self.metrics.enabled else 0.0
         results = self._run_tasks(given, tasks)
         out = np.empty(users.shape, dtype=np.float64)
         for idx, chunk in zip(request_slices, results):
             out[idx] = chunk
+        if self.metrics.enabled:
+            self.metrics.histogram("parallel.batch.latency").observe(
+                time.perf_counter() - batch_start
+            )
         return out
 
     def _run_tasks(
@@ -244,14 +287,30 @@ class ParallelPredictor:
         part of the batch; the safe recovery for a pure function is to
         discard the pool and re-run everything.  Bounded respawns, then
         inline execution — the request is answered regardless.
+
+        Metric deltas piggyback on task results, so an attempt that
+        crashes contributes *nothing* (its partial results are thrown
+        away un-merged) and the attempt that completes contributes
+        exactly one delta per task — crashes cannot lose or
+        double-count samples.
         """
+        reg = self.metrics
         for _attempt in range(self.max_pool_retries + 1):
             pool = self._ensure_pool(given)
+            submitted_at = time.time() if reg.enabled else None
+            payload = [(users, items, submitted_at) for users, items in tasks]
             try:
-                return list(pool.map(_predict_chunk, tasks))
+                fetched = list(pool.map(_predict_chunk, payload))
             except BrokenProcessPool:
                 self.crash_recoveries += 1
+                if reg.enabled:
+                    reg.counter("parallel.pool.respawn").inc()
                 self._discard_pool()
+                continue
+            for _preds, delta in fetched:
+                if delta is not None:
+                    reg.merge(delta)
+            return [preds for preds, _delta in fetched]
         if not self.inline_fallback:
             from repro.serving.errors import WorkerCrashError
 
@@ -260,7 +319,18 @@ class ParallelPredictor:
                 "and inline fallback is disabled"
             )
         self.inline_fallbacks += 1
-        return [self.model.predict_many(given, u, i) for u, i in tasks]
+        if reg.enabled:
+            reg.counter("parallel.inline.fallback").inc()
+        results = []
+        for users, items in tasks:
+            start = time.perf_counter()
+            results.append(self.model.predict_many(given, users, items))
+            if reg.enabled:
+                reg.histogram("parallel.task.latency").observe(
+                    time.perf_counter() - start
+                )
+                reg.counter("parallel.task.requests").inc(int(users.size))
+        return results
 
     def stats(self) -> dict[str, int]:
         """Crash/fallback counters for health reporting."""

@@ -30,6 +30,7 @@ import enum
 import time
 from typing import Callable
 
+from repro.obs import get_registry
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive_int
 
@@ -67,6 +68,11 @@ class CircuitBreaker:
         Monotonic time source (injectable for tests).
     rng:
         Seed or :class:`numpy.random.Generator` for the jitter draw.
+    metrics:
+        A :class:`~repro.obs.MetricsRegistry` recording the
+        ``breaker.transitions`` counter and ``breaker.open.seconds``
+        gauge (defaults to the ambient registry — a no-op unless
+        observability was opted into).
     """
 
     def __init__(
@@ -80,6 +86,7 @@ class CircuitBreaker:
         jitter: float = 0.2,
         clock: Callable[[], float] = time.monotonic,
         rng=None,
+        metrics=None,
     ) -> None:
         self.name = name
         self.failure_threshold = check_positive_int(failure_threshold, "failure_threshold")
@@ -95,15 +102,46 @@ class CircuitBreaker:
         self.jitter = float(jitter)
         self._clock = clock
         self._rng = as_generator(rng)
+        self._metrics = get_registry() if metrics is None else metrics
 
         self.state = CircuitState.CLOSED
         self.consecutive_failures = 0
         self.failures = 0
         self.successes = 0
         self.open_count = 0          # total times the breaker tripped
+        self.open_seconds_total = 0.0  # cumulative time spent open
+        self._opened_at: float | None = None
         self._open_streak = 0        # re-opens without a success (drives backoff)
         self._retry_at = 0.0
         self.last_delay = 0.0
+
+    def _set_state(self, new_state: CircuitState) -> None:
+        """Transition with open-time accounting and metric recording."""
+        if new_state is self.state:
+            return
+        now = self._clock()
+        if self.state is CircuitState.OPEN and self._opened_at is not None:
+            self.open_seconds_total += now - self._opened_at
+            self._opened_at = None
+        if new_state is CircuitState.OPEN:
+            self._opened_at = now
+        self.state = new_state
+        metrics = self._metrics
+        if metrics.enabled:
+            label = self.name or "unnamed"
+            metrics.counter(
+                "breaker.transitions", breaker=label, to=new_state.value
+            ).inc()
+            metrics.gauge("breaker.open.seconds", breaker=label).set(
+                self.open_seconds_total
+            )
+
+    def open_seconds(self) -> float:
+        """Cumulative seconds spent open, including any current stretch."""
+        total = self.open_seconds_total
+        if self.state is CircuitState.OPEN and self._opened_at is not None:
+            total += self._clock() - self._opened_at
+        return total
 
     # ------------------------------------------------------------------
     def allow(self) -> bool:
@@ -114,7 +152,7 @@ class CircuitBreaker:
         """
         if self.state is CircuitState.OPEN:
             if self._clock() >= self._retry_at:
-                self.state = CircuitState.HALF_OPEN
+                self._set_state(CircuitState.HALF_OPEN)
                 return True
             return False
         return True
@@ -124,7 +162,7 @@ class CircuitBreaker:
         self.successes += 1
         self.consecutive_failures = 0
         self._open_streak = 0
-        self.state = CircuitState.CLOSED
+        self._set_state(CircuitState.CLOSED)
 
     def record_failure(self) -> None:
         """A call through this breaker failed.
@@ -155,7 +193,7 @@ class CircuitBreaker:
         )
         self.last_delay = base * (1.0 + self.jitter * float(self._rng.random()))
         self._retry_at = self._clock() + self.last_delay
-        self.state = CircuitState.OPEN
+        self._set_state(CircuitState.OPEN)
         self.open_count += 1
         self._open_streak += 1
 
@@ -168,6 +206,7 @@ class CircuitBreaker:
             "successes": self.successes,
             "consecutive_failures": self.consecutive_failures,
             "open_count": self.open_count,
+            "open_seconds": self.open_seconds(),
             "retry_in": self.retry_in(),
         }
 

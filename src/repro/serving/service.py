@@ -43,6 +43,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.data.matrix import RatingMatrix
+from repro.obs import get_registry
 from repro.serving.breaker import CircuitBreaker
 from repro.serving.errors import (
     InvalidRequestError,
@@ -142,6 +143,13 @@ class PredictionService:
     clock / sleep:
         Injectable time sources (see :class:`~repro.serving.faults.
         ManualClock`).
+    metrics:
+        A :class:`~repro.obs.MetricsRegistry` to record request
+        counts, latency histograms, per-stage fallback counters, and
+        breaker transitions into.  Defaults to the ambient registry
+        (:func:`repro.obs.get_registry`), which is the no-op
+        :data:`~repro.obs.NULL_REGISTRY` unless observability was
+        opted into — so the hot path pays one attribute check.
 
     Examples
     --------
@@ -172,7 +180,9 @@ class PredictionService:
         reload_backoff: float = 0.05,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
+        metrics=None,
     ) -> None:
+        self.metrics = get_registry() if metrics is None else metrics
         self.snapshot_path = snapshot_path
         self.strict = bool(strict)
         self.reload_retries = reload_retries
@@ -194,6 +204,8 @@ class PredictionService:
         self.requests_total = 0
         self.deadline_deferred_total = 0
         self.invalid_total = 0
+        self.sanitized_total = 0
+        self.degraded_total = 0
         self.model_version = 0
         self.reloads_ok = 0
         self.reloads_failed = 0
@@ -232,6 +244,7 @@ class PredictionService:
                     stage.name,
                     clock=self._clock,
                     rng=self._breaker_seed + idx,
+                    metrics=self.metrics,
                     **self._breaker_kwargs,
                 )
         self.model_version += 1
@@ -324,6 +337,8 @@ class PredictionService:
         loaded = self._load_snapshot(target)
         if loaded is None:
             self.reloads_failed += 1
+            if self.metrics.enabled:
+                self.metrics.counter("serving.reload.failed").inc()
             if self.model is None:  # pragma: no cover - constructor guards this
                 raise ModelUnavailableError(
                     f"snapshot {target!r} unusable and no last-known-good model"
@@ -333,8 +348,12 @@ class PredictionService:
             self._install_model(loaded)
         except ModelUnavailableError:
             self.reloads_failed += 1
+            if self.metrics.enabled:
+                self.metrics.counter("serving.reload.failed").inc()
             return False
         self.reloads_ok += 1
+        if self.metrics.enabled:
+            self.metrics.counter("serving.reload.ok").inc()
         return True
 
     # ------------------------------------------------------------------
@@ -471,8 +490,33 @@ class PredictionService:
                     cleaned, users[block], items[block], errors
                 )
 
+        elapsed = self._clock() - t0
+        n_invalid = int(invalid.sum())
+        n_deferred = int(deferred.sum())
+        n_sanitized = int(sanitized_req.sum())
+        n_degraded = int(
+            ((levels > 0) | invalid | sanitized_req | deferred).sum()
+        )
         self.requests_total += n
-        self.deadline_deferred_total += int(deferred.sum())
+        self.deadline_deferred_total += n_deferred
+        self.sanitized_total += n_sanitized
+        self.degraded_total += n_degraded
+        reg = self.metrics
+        if reg.enabled:
+            reg.counter("serving.requests").inc(n)
+            reg.histogram("serving.request.latency").observe(elapsed)
+            counts = np.bincount(levels, minlength=len(stage_names))
+            for name, count in zip(stage_names, counts):
+                if count:
+                    reg.counter("serving.fallback", stage=name).inc(int(count))
+            if n_invalid:
+                reg.counter("serving.invalid").inc(n_invalid)
+            if n_sanitized:
+                reg.counter("serving.sanitized").inc(n_sanitized)
+            if n_deferred:
+                reg.counter("serving.deadline.deferred").inc(n_deferred)
+            if n_degraded:
+                reg.counter("serving.degraded").inc(n_degraded)
         return ServingResult(
             predictions=np.clip(predictions, *self._scale),
             fallback_level=levels,
@@ -481,7 +525,7 @@ class PredictionService:
             sanitized=sanitized_req,
             deadline_deferred=deferred,
             deadline_hit=deadline_hit,
-            elapsed=self._clock() - t0,
+            elapsed=elapsed,
             errors=tuple(errors[:_MAX_ERRORS_PER_CALL]),
         )
 
@@ -512,6 +556,8 @@ class PredictionService:
                     )
             except Exception as exc:  # noqa: BLE001 - the chain absorbs stage faults
                 breaker.record_failure()
+                if self.metrics.enabled:
+                    self.metrics.counter("serving.stage.failures", stage=stage.name).inc()
                 if len(errors) < _MAX_ERRORS_PER_CALL:
                     errors.append(
                         StageFailure(stage.name, f"{type(exc).__name__}: {exc}", users.size)
@@ -530,8 +576,17 @@ class PredictionService:
         return {name: br.state.value for name, br in self._breakers.items()}
 
     def health(self) -> dict:
-        """Operational snapshot for dashboards and tests."""
-        return {
+        """Operational snapshot for dashboards and tests.
+
+        The original keys are kept backward compatible.  Cumulative
+        degradation counters and per-breaker open-durations ride
+        along; when a real metrics registry is attached the counters
+        are sourced from it (one measurement path shared with the
+        exposition formats) and a ``latency`` percentile summary of
+        the ``serving.request.latency`` histogram is included.
+        """
+        reg = self.metrics
+        health = {
             "model": None if self.model is None else str(self.model.name),
             "model_version": self.model_version,
             "stages": list(self.stage_names),
@@ -539,9 +594,32 @@ class PredictionService:
             "requests_total": self.requests_total,
             "invalid_total": self.invalid_total,
             "deadline_deferred_total": self.deadline_deferred_total,
+            "sanitized_total": self.sanitized_total,
+            "degraded_total": self.degraded_total,
+            "breaker_open_seconds": {
+                n: b.open_seconds() for n, b in self._breakers.items()
+            },
             "reloads_ok": self.reloads_ok,
             "reloads_failed": self.reloads_failed,
             "last_reload_error": (
                 None if self.last_reload_error is None else repr(self.last_reload_error)
             ),
+            "metrics_enabled": reg.enabled,
         }
+        if reg.enabled:
+            health["requests_total"] = int(reg.counter("serving.requests").value)
+            health["invalid_total"] = int(reg.counter("serving.invalid").value)
+            health["deadline_deferred_total"] = int(
+                reg.counter("serving.deadline.deferred").value
+            )
+            health["sanitized_total"] = int(reg.counter("serving.sanitized").value)
+            health["degraded_total"] = int(reg.counter("serving.degraded").value)
+            latency = reg.histogram("serving.request.latency")
+            health["latency"] = {
+                "count": latency.count,
+                "mean": latency.mean,
+                "p50": latency.quantile(0.50),
+                "p95": latency.quantile(0.95),
+                "p99": latency.quantile(0.99),
+            }
+        return health

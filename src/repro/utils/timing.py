@@ -87,6 +87,8 @@ def time_call(
     func: Callable[..., Any],
     *args: Any,
     repeats: int = 3,
+    registry: Any = None,
+    metric: str = "timing.time_call",
     **kwargs: Any,
 ) -> TimingResult:
     """Run ``func(*args, **kwargs)`` *repeats* times and time each run.
@@ -94,13 +96,25 @@ def time_call(
     Returns the per-run wall-clock times and the value from the final
     run (so callers can both time and use a prediction pass without
     running it twice).
+
+    When *registry* (a :class:`repro.obs.MetricsRegistry`) is given,
+    every sample is also recorded into its *metric* histogram, so the
+    Fig. 5 benchmark harness and the serving layer share one
+    measurement path.  The return type is unchanged either way; a
+    disabled (no-op) registry is skipped with one attribute check.
+    The two keyword names are reserved — a *func* expecting its own
+    ``registry=``/``metric=`` kwarg must be wrapped in a lambda.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
+    record = registry is not None and registry.enabled
     seconds: list[float] = []
     value: Any = None
     for _ in range(repeats):
         start = time.perf_counter()
         value = func(*args, **kwargs)
-        seconds.append(time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        seconds.append(elapsed)
+        if record:
+            registry.histogram(metric).observe(elapsed)
     return TimingResult(seconds=tuple(seconds), value=value)

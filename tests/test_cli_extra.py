@@ -1,6 +1,9 @@
-"""Tests for the crossval/tune CLI commands (reduced workloads)."""
+"""Tests for the crossval/tune/metrics CLI commands (reduced workloads)."""
 
 from __future__ import annotations
+
+import json
+import re
 
 import pytest
 
@@ -39,6 +42,57 @@ class TestTuneCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "Best of 2 trials" in out and "validation MAE" in out
+
+
+@pytest.mark.obs
+class TestMetricsCommand:
+    ARGS = ["metrics", "--train-size", "80", "--given-n", "8",
+            "--requests", "60", "--batches", "3"]
+
+    def test_prometheus_exposition_is_parseable(self, capsys):
+        code = main([*self.ARGS, "--format", "prometheus"])
+        assert code == 0
+        out = capsys.readouterr().out
+        sample_re = re.compile(
+            r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?\d+(\.\d+)?(e-?\d+)?|[+-]Inf|NaN)$'
+        )
+        seen_meta: set[str] = set()
+        families: set[str] = set()
+        for line in out.rstrip("\n").splitlines():
+            if line.startswith("#"):
+                # HELP/TYPE appear exactly once per family.
+                kind, fam = line.split()[1:3]
+                assert (kind, fam) not in seen_meta, line
+                seen_meta.add((kind, fam))
+                families.add(fam)
+            else:
+                assert sample_re.match(line), f"unparseable sample line: {line!r}"
+        assert "serving_requests_total" in families
+        assert "serving_request_latency" in families
+        # Counters are non-negative (monotone from zero).
+        for match in re.finditer(r"^(\w+_total)(?:\{[^}]*\})? (\S+)$", out, re.M):
+            assert float(match.group(2)) >= 0, match.group(0)
+        # Bucket series are cumulative and end at le="+Inf" == _count.
+        buckets = re.findall(
+            r'^serving_request_latency_bucket\{le="([^"]+)"\} (\d+)$', out, re.M
+        )
+        counts = [int(c) for _, c in buckets]
+        assert buckets[-1][0] == "+Inf"
+        assert counts == sorted(counts)
+        assert f"serving_request_latency_count {counts[-1]}" in out
+
+    def test_json_snapshot_has_serving_and_span_data(self, capsys):
+        code = main(self.ARGS)
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        counters = {c["name"]: c["value"] for c in doc["counters"]}
+        assert counters["serving.requests"] == 60
+        (latency,) = [
+            h for h in doc["histograms"] if h["name"] == "serving.request.latency"
+        ]
+        assert latency["count"] == 3
+        span_names = {s["name"] for s in doc["spans"]}
+        assert {"model.fit", "gis.build", "cluster.fit", "smooth.apply"} <= span_names
 
 
 class TestServeCommand:

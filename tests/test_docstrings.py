@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.core",
     "repro.data",
     "repro.eval",
+    "repro.obs",
     "repro.parallel",
     "repro.similarity",
     "repro.utils",

@@ -1,0 +1,124 @@
+"""Tests for the JSON and Prometheus exposition formats."""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from repro.obs import MetricsRegistry, render_json, render_prometheus
+from repro.obs.exposition import sanitize_name
+from repro.serving.faults import ManualClock
+
+pytestmark = pytest.mark.obs
+
+
+def _loaded(registry: MetricsRegistry) -> MetricsRegistry:
+    registry.counter("serving.requests").inc(7)
+    registry.counter("serving.fallback", stage="CFSF").inc(5)
+    registry.counter("serving.fallback", stage="item_knn").inc(2)
+    registry.gauge("breaker.open.seconds", breaker="CFSF").set(1.25)
+    h = registry.histogram("serving.request.latency", buckets=(0.001, 0.01, 0.1))
+    for v in (0.0005, 0.005, 0.05, 0.5):
+        h.observe(v)
+    with registry.span("model.fit"):
+        pass
+    return registry
+
+
+class TestSanitizeName:
+    def test_dots_become_underscores(self):
+        assert sanitize_name("serving.request.latency") == "serving_request_latency"
+
+    def test_illegal_chars_and_digit_prefix(self):
+        assert sanitize_name("p99-latency (ms)") == "p99_latency__ms_"
+        assert sanitize_name("9lives") == "_9lives"
+
+
+class TestRenderJson:
+    def test_round_trips_through_json(self):
+        reg = _loaded(MetricsRegistry(clock=ManualClock()))
+        doc = json.loads(render_json(reg))
+        assert {"counters", "gauges", "histograms", "spans"} <= set(doc)
+        names = {c["name"] for c in doc["counters"]}
+        assert "serving.requests" in names
+        (latency,) = [
+            h for h in doc["histograms"] if h["name"] == "serving.request.latency"
+        ]
+        assert latency["count"] == 4
+        assert {"p50", "p95", "p99", "buckets", "counts"} <= set(latency)
+        assert doc["spans"][0]["name"] == "model.fit"
+
+    def test_accepts_snapshot_dict(self):
+        reg = _loaded(MetricsRegistry(clock=ManualClock()))
+        assert render_json(reg.snapshot()) == render_json(reg)
+
+
+class TestRenderPrometheus:
+    def test_help_and_type_once_per_family(self):
+        text = render_prometheus(_loaded(MetricsRegistry(clock=ManualClock())))
+        helps = [l for l in text.splitlines() if l.startswith("# HELP ")]
+        types = [l for l in text.splitlines() if l.startswith("# TYPE ")]
+        assert len(helps) == len(set(helps)) and len(types) == len(set(types))
+        # Both labelled fallback series share one family header.
+        assert "# TYPE serving_fallback_total counter" in text
+        assert text.count("# TYPE serving_fallback_total") == 1
+        assert 'serving_fallback_total{stage="CFSF"} 5' in text
+        assert 'serving_fallback_total{stage="item_knn"} 2' in text
+
+    def test_counters_get_total_suffix(self):
+        text = render_prometheus(_loaded(MetricsRegistry(clock=ManualClock())))
+        assert "serving_requests_total 7" in text
+        assert "\nserving_requests 7" not in text
+
+    def test_gauge_rendered_plain(self):
+        text = render_prometheus(_loaded(MetricsRegistry(clock=ManualClock())))
+        assert "# TYPE breaker_open_seconds gauge" in text
+        assert 'breaker_open_seconds{breaker="CFSF"} 1.25' in text
+
+    def test_histogram_buckets_cumulative_ending_at_inf(self):
+        text = render_prometheus(_loaded(MetricsRegistry(clock=ManualClock())))
+        pattern = re.compile(
+            r'^serving_request_latency_bucket\{le="([^"]+)"\} (\d+)$', re.M
+        )
+        series = pattern.findall(text)
+        assert [le for le, _ in series] == ["0.001", "0.01", "0.1", "+Inf"]
+        counts = [int(c) for _, c in series]
+        assert counts == sorted(counts)  # cumulative, monotone
+        assert counts[-1] == 4
+        assert "serving_request_latency_count 4" in text
+        assert re.search(r"^serving_request_latency_sum 0\.555", text, re.M)
+
+    def test_spans_surface_only_as_histograms(self):
+        text = render_prometheus(_loaded(MetricsRegistry(clock=ManualClock())))
+        assert "# TYPE span_model_fit histogram" in text
+        assert "model.fit" not in text.replace("# HELP span_model_fit span.model.fit", "")
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c", msg='say "hi"\nthen\\leave').inc()
+        text = render_prometheus(reg)
+        assert 'msg="say \\"hi\\"\\nthen\\\\leave"' in text
+
+    def test_empty_registry_renders_empty_document(self):
+        assert render_prometheus(MetricsRegistry()) == "\n"
+
+    def test_families_sorted_and_samples_contiguous(self):
+        text = render_prometheus(_loaded(MetricsRegistry(clock=ManualClock())))
+        family_of = [
+            line.split()[2]
+            for line in text.splitlines()
+            if line.startswith("# HELP ")
+        ]
+        assert family_of == sorted(family_of)
+        # Every non-comment sample line belongs to the most recent family.
+        current = None
+        for line in text.splitlines():
+            if not line:
+                continue
+            if line.startswith("# HELP "):
+                current = line.split()[2]
+            elif not line.startswith("#"):
+                name = line.split("{")[0].split()[0]
+                assert name.startswith(current)

@@ -1,0 +1,341 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms, spans)."""
+
+from __future__ import annotations
+
+import json
+import pickle
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    get_registry,
+    set_registry,
+    span,
+    use_registry,
+)
+from repro.serving.faults import ManualClock
+
+pytestmark = pytest.mark.obs
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("requests")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_get_or_create_returns_same_handle(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_labels_create_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.counter("fallback", stage="CFSF").inc(3)
+        reg.counter("fallback", stage="item_knn").inc()
+        assert reg.counter_value("fallback", stage="CFSF") == 3
+        assert reg.counter_value("fallback", stage="item_knn") == 1
+        assert reg.counter_value("fallback", stage="user_mean") == 0.0
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="cannot decrease"):
+            reg.counter("x").inc(-1)
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.histogram("x")
+
+    def test_empty_name_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("")
+        with pytest.raises(ValueError):
+            reg.span("")
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("pool.size")
+        g.set(4)
+        g.add(-1.5)
+        assert g.value == 2.5
+
+
+class TestHistogram:
+    def test_observe_updates_exact_stats(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 8.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(13.0)
+        assert h.min == 0.5 and h.max == 8.0
+        assert h.mean == pytest.approx(3.25)
+        # One sample per bucket, including the +Inf tail.
+        assert h.counts == [1, 1, 1, 1]
+
+    def test_quantile_interpolates_and_clamps(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 8.0):
+            h.observe(v)
+        # Quantiles are bucket estimates but never leave [min, max].
+        assert h.min <= h.quantile(0.0) <= h.quantile(0.5) <= h.quantile(1.0) <= h.max
+        assert h.quantile(1.0) == 8.0  # +Inf bucket resolves to the true max
+        assert h.quantile(0.0) == 0.5
+
+    def test_quantile_single_sample_is_exactish(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        h.observe(0.007)
+        for q in (0.5, 0.95, 0.99):
+            assert h.quantile(q) == pytest.approx(0.007)
+
+    def test_quantile_empty_and_invalid(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        assert h.quantile(0.99) == 0.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_default_buckets(self):
+        reg = MetricsRegistry()
+        assert reg.histogram("lat").buckets == DEFAULT_LATENCY_BUCKETS
+
+    def test_bucket_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", buckets=(1.0, 2.0))
+        reg.histogram("lat")  # no buckets requested: existing handle is fine
+        with pytest.raises(ValueError, match="already registered with buckets"):
+            reg.histogram("lat", buckets=(1.0, 3.0))
+
+    def test_bad_buckets_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="ascending"):
+            reg.histogram("lat", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError, match="ascending"):
+            reg.histogram("lat2", buckets=())
+
+
+class TestThreadSafety:
+    def test_concurrent_updates_lose_nothing(self):
+        reg = MetricsRegistry()
+        n_threads, n_each = 8, 500
+
+        def work():
+            for _ in range(n_each):
+                reg.counter("hits").inc()
+                reg.histogram("lat", buckets=(0.5, 1.0)).observe(0.25)
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter_value("hits") == n_threads * n_each
+        assert reg.histogram("lat").count == n_threads * n_each
+
+
+class TestSnapshotDrainMerge:
+    def test_snapshot_is_jsonable(self):
+        reg = MetricsRegistry(clock=ManualClock())
+        reg.counter("c", stage="a").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(0.01)
+        with reg.span("fit", n=3):
+            pass
+        snap = json.loads(json.dumps(reg.snapshot()))
+        assert {"counters", "gauges", "histograms", "spans"} <= set(snap)
+        hist = snap["histograms"][0]
+        assert {"buckets", "counts", "sum", "count", "p50", "p95", "p99"} <= set(hist)
+
+    def test_drain_resets_and_partitions_the_stream(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(5)
+        reg.histogram("h").observe(0.1)
+        delta = reg.drain()
+        assert reg.counter_value("c") == 0.0
+        assert reg.histogram("h").count == 0
+        reg.counter("c").inc(2)
+        second = reg.drain()
+        # Merging each delta exactly once reconstructs the full stream.
+        target = MetricsRegistry()
+        target.merge(delta)
+        target.merge(second)
+        assert target.counter_value("c") == 7
+        assert target.histogram("h").count == 1
+
+    def test_merge_semantics(self):
+        src = MetricsRegistry()
+        src.counter("c").inc(5)
+        src.gauge("g").set(3.0)
+        src.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        delta = src.snapshot()
+        dst = MetricsRegistry()
+        dst.gauge("g").set(99.0)
+        dst.merge(delta)
+        dst.merge(delta)
+        assert dst.counter_value("c") == 10  # counters add
+        assert dst.gauge("g").value == 3.0  # gauges take the incoming value
+        h = dst.histogram("h")
+        assert h.count == 2 and h.min == 0.5 and h.max == 0.5
+
+    def test_merge_rejects_mismatched_buckets(self):
+        src = MetricsRegistry()
+        src.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        dst = MetricsRegistry()
+        dst.histogram("h", buckets=(5.0, 6.0))
+        with pytest.raises(ValueError, match="already registered with buckets"):
+            dst.merge(src.snapshot())
+
+    def test_merge_empty_delta_is_noop(self):
+        reg = MetricsRegistry()
+        reg.merge({})
+        reg.merge(reg.drain())
+        assert reg.snapshot()["counters"] == []
+
+    def test_delta_pickles(self):
+        reg = MetricsRegistry(clock=ManualClock())
+        reg.counter("c").inc()
+        with reg.span("s"):
+            pass
+        delta = reg.drain()
+        assert pickle.loads(pickle.dumps(delta)) == delta
+
+    def test_reset_keeps_handles(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        c.inc(4)
+        reg.reset()
+        assert c.value == 0.0
+        assert reg.counter("c") is c
+
+
+class TestSpans:
+    def test_duration_from_injected_clock(self):
+        clock = ManualClock()
+        reg = MetricsRegistry(clock=clock)
+        with reg.span("fit") as sp:
+            clock.advance(1.5)
+            sp.set(n_iter=7)
+        (rec,) = reg.spans("fit")
+        assert rec["duration"] == pytest.approx(1.5)
+        assert rec["attrs"] == {"n_iter": 7}
+        assert rec["parent"] is None and rec["depth"] == 0
+        # The duration also lands in the span.<name> histogram.
+        assert reg.histogram("span.fit").count == 1
+
+    def test_nesting_records_parent_and_depth(self):
+        clock = ManualClock()
+        reg = MetricsRegistry(clock=clock)
+        with reg.span("outer"):
+            with reg.span("inner"):
+                clock.advance(1.0)
+        inner, outer = reg.spans()  # inner closes first
+        assert (inner["name"], inner["parent"], inner["depth"]) == ("inner", "outer", 1)
+        assert (outer["name"], outer["parent"], outer["depth"]) == ("outer", None, 0)
+        assert outer["duration"] >= inner["duration"]
+
+    def test_exception_still_records(self):
+        clock = ManualClock()
+        reg = MetricsRegistry(clock=clock)
+        with pytest.raises(RuntimeError):
+            with reg.span("boom"):
+                clock.advance(0.5)
+                raise RuntimeError("x")
+        (rec,) = reg.spans("boom")
+        assert rec["duration"] == pytest.approx(0.5)
+        # The stack unwound: a following span is top-level again.
+        with reg.span("after"):
+            pass
+        assert reg.spans("after")[0]["parent"] is None
+
+    def test_numpy_attrs_coerced(self):
+        np = pytest.importorskip("numpy")
+        reg = MetricsRegistry(clock=ManualClock())
+        with reg.span("fit", n=np.int64(3), frac=np.float64(0.5)):
+            pass
+        attrs = reg.spans("fit")[0]["attrs"]
+        assert attrs == {"n": 3, "frac": 0.5}
+        assert type(attrs["n"]) is int and type(attrs["frac"]) is float
+
+    def test_max_spans_drops_oldest(self):
+        reg = MetricsRegistry(clock=ManualClock(), max_spans=3)
+        for i in range(5):
+            with reg.span(f"s{i}"):
+                pass
+        assert [r["name"] for r in reg.spans()] == ["s2", "s3", "s4"]
+
+
+class TestNullRegistry:
+    def test_disabled_and_inert(self):
+        null = NullRegistry()
+        assert null.enabled is False
+        null.counter("c", stage="x").inc(5)
+        null.gauge("g").set(1)
+        null.histogram("h").observe(2)
+        with null.span("s") as sp:
+            sp.set(k=1)
+        assert null.counter_value("c", stage="x") == 0.0
+        assert null.spans() == []
+        assert null.snapshot() == {
+            "counters": [],
+            "gauges": [],
+            "histograms": [],
+            "spans": [],
+        }
+        assert null.drain() == null.snapshot()
+        null.merge({"counters": [{"name": "c", "labels": {}, "value": 1}]})
+        null.reset()
+
+    def test_handles_are_shared_singletons(self):
+        null = NullRegistry()
+        assert null.counter("a") is null.counter("b") is null.histogram("c")
+
+
+class TestAmbientRegistry:
+    def test_default_is_the_null_registry(self):
+        assert get_registry() is NULL_REGISTRY
+
+    def test_set_registry_installs_and_restores(self):
+        reg = MetricsRegistry()
+        previous = set_registry(reg)
+        try:
+            assert get_registry() is reg
+        finally:
+            set_registry(previous)
+        assert get_registry() is NULL_REGISTRY
+
+    def test_set_none_restores_default(self):
+        set_registry(MetricsRegistry())
+        set_registry(None)
+        assert get_registry() is NULL_REGISTRY
+
+    def test_use_registry_scopes_even_on_error(self):
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with use_registry(reg):
+                assert get_registry() is reg
+                raise RuntimeError("x")
+        assert get_registry() is NULL_REGISTRY
+
+    def test_free_span_targets_ambient(self):
+        reg = MetricsRegistry(clock=ManualClock())
+        with use_registry(reg):
+            with span("work", phase="test"):
+                pass
+        with span("ignored"):
+            pass  # ambient is the null registry again: recorded nowhere
+        assert [r["name"] for r in reg.spans()] == ["work"]
