@@ -1,0 +1,111 @@
+"""CI benchmark-regression gate for the serving-latency trajectory.
+
+Compares a freshly measured serving-latency run against the committed
+``BENCH_serving_latency.json`` baseline and fails (exit 1) when the
+p95 regresses by more than the tolerance.  Used by the ``bench-gate``
+job in ``.github/workflows/ci.yml``; run locally with::
+
+    PYTHONPATH=src python benchmarks/check_regression.py --smoke
+
+Knobs
+-----
+``--tolerance`` / ``BENCH_GATE_TOLERANCE``
+    Allowed fractional p95 regression (default 0.25 = +25%).  CI
+    runners are noisy; the tolerance is a tripwire for gross
+    regressions, not a microbenchmark.
+``BENCH_GATE_SKIP=1``
+    Escape hatch: report and exit 0 regardless of the comparison.
+    For emergencies (e.g. a deliberate latency/quality trade landing
+    ahead of its new baseline) — the skip is printed loudly so it is
+    visible in the CI log.
+``--current``
+    Compare an existing result file instead of running the bench.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_serving_latency.json"
+DEFAULT_TOLERANCE = 0.25
+
+
+def check(baseline: dict, current: dict, tolerance: float) -> tuple[bool, str]:
+    """Pure comparison: ``(ok, human-readable verdict)``.
+
+    The gate is one-sided — only a p95 *increase* beyond
+    ``baseline_p95 * (1 + tolerance)`` fails.  Improvements always
+    pass (regenerating the baseline to ratchet the budget down is a
+    deliberate, reviewed act).
+    """
+    base_p95 = float(baseline["p95"])
+    curr_p95 = float(current["p95"])
+    if base_p95 <= 0.0:
+        return False, f"baseline p95 is non-positive ({base_p95!r}); regenerate the baseline"
+    limit = base_p95 * (1.0 + tolerance)
+    ratio = curr_p95 / base_p95
+    detail = (
+        f"p95 baseline={base_p95 * 1e3:.3f}ms current={curr_p95 * 1e3:.3f}ms "
+        f"({ratio - 1.0:+.0%} vs baseline, limit {limit * 1e3:.3f}ms)"
+    )
+    if curr_p95 > limit:
+        return False, f"REGRESSION: {detail}"
+    return True, f"OK: {detail}"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="committed baseline JSON (default: repo artefact)",
+    )
+    parser.add_argument(
+        "--current",
+        type=Path,
+        default=None,
+        help="existing result JSON to compare; omit to run the bench now",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("BENCH_GATE_TOLERANCE", DEFAULT_TOLERANCE)),
+        help="allowed fractional p95 regression (default 0.25, env BENCH_GATE_TOLERANCE)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the bench in reduced smoke geometry (CI default)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        print(f"bench gate: no baseline at {args.baseline}; nothing to compare", flush=True)
+        return 0
+
+    baseline = json.loads(args.baseline.read_text())
+    if args.current is not None:
+        current = json.loads(args.current.read_text())
+    else:
+        sys.path.insert(0, str(Path(__file__).resolve().parent))
+        from bench_serving_latency import run_bench
+
+        current = run_bench(output_path=None, smoke=args.smoke)
+
+    ok, verdict = check(baseline, current, args.tolerance)
+    print(f"bench gate: {verdict}", flush=True)
+
+    if os.environ.get("BENCH_GATE_SKIP", "") not in ("", "0"):
+        print("bench gate: BENCH_GATE_SKIP set — result ignored, exiting 0", flush=True)
+        return 0
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,9 +20,22 @@ from repro.core.config import PAPER_DEFAULTS, CFSFConfig
 from repro.core.clustering import UserClusters, cluster_users
 from repro.core.incremental import IncrementalGIS
 from repro.core.temporal import apply_time_decay, decay_weights
-from repro.core.fusion import FusedPrediction, fuse, fusion_weights, pair_similarity
-from repro.core.gis import GlobalItemSimilarity, build_gis
-from repro.core.icluster import IClusterIndex, build_icluster, user_cluster_affinity
+from repro.core.fusion import (
+    FusedPrediction,
+    FusionKernel,
+    PreparedActiveUser,
+    fuse,
+    fusion_weights,
+    pair_similarity,
+)
+from repro.core.gis import GlobalItemSimilarity, NeighborCache, build_gis, build_neighbor_cache
+from repro.core.icluster import (
+    IClusterIndex,
+    PreparedAffinity,
+    build_icluster,
+    prepare_affinity,
+    user_cluster_affinity,
+)
 from repro.core.local_matrix import LocalMatrix, build_local_matrix
 from repro.core.explain import Contribution, Explanation, explain
 from repro.core.model import CFSF, ActiveUserState
@@ -38,9 +51,13 @@ __all__ = [
     "Contribution",
     "Explanation",
     "FusedPrediction",
+    "FusionKernel",
     "GlobalItemSimilarity",
     "IClusterIndex",
     "IncrementalGIS",
+    "NeighborCache",
+    "PreparedActiveUser",
+    "PreparedAffinity",
     "apply_time_decay",
     "decay_weights",
     "LocalMatrix",
@@ -56,6 +73,8 @@ __all__ = [
     "build_gis",
     "build_icluster",
     "build_local_matrix",
+    "build_neighbor_cache",
+    "prepare_affinity",
     "cluster_deviations",
     "cluster_users",
     "explain",

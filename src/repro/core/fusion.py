@@ -34,14 +34,24 @@ ablation benchmarks can count fallbacks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
+from repro.core.gis import NeighborCache
 from repro.core.local_matrix import LocalMatrix
+from repro.core.smoothing import SmoothedRatings
 from repro.utils.validation import check_fraction
 
-__all__ = ["FusedPrediction", "pair_similarity", "fuse", "fusion_weights"]
+__all__ = [
+    "FusedPrediction",
+    "FusionKernel",
+    "PreparedActiveUser",
+    "fuse",
+    "fusion_weights",
+    "pair_similarity",
+]
 
 
 @dataclass(frozen=True)
@@ -162,3 +172,359 @@ def fuse(
         sur_ok=sur_ok,
         suir_ok=suir_ok,
     )
+
+
+@dataclass(frozen=True)
+class PreparedActiveUser:
+    """Per-active-user arrays gathered once, reused across every request.
+
+    Produced by :meth:`FusionKernel.prepare_user`.  The top-K data is
+    stored *item-major*: ``(Q, K)`` contiguous transposed copies of the
+    selected users' rows.  A request then gathers whole K-wide rows
+    (one cache line each) instead of column-striding the ``(K, Q)``
+    originals — several times faster — and the Eq. 13 inner loop
+    broadcasts over the contiguous trailing axis.  The Eq. 10 user
+    similarity is pre-multiplied into the weights (``wsu_cols``), which
+    removes one full ``(R·M, K)`` pass from every fused batch.
+    """
+
+    #: ``(K,)`` clamped (non-negative) Eq. 10 similarities of the top-K users.
+    su: np.ndarray = field(repr=False)
+    #: ``(K,)`` ``su² + 1e-300`` — the Eq. 13 denominator terms with the
+    #: exact-zero offset already baked in (see :meth:`FusionKernel._fuse_block`).
+    su_sq: np.ndarray = field(repr=False)
+    #: ``(Q, K)`` Eq. 11 weights of the top-K users, scaled by ``su``.
+    wsu_cols: np.ndarray = field(repr=False)
+    #: ``(Q, K)`` SUIR' deviation source: mean-centred ratings minus each
+    #: item's quality offset when ``adjust_biases`` (folding Eq. 14's
+    #: item-mean correction into the gathered rows removes a whole
+    #: ``(R·M, K)`` reduction from the hot path), raw ratings otherwise.
+    suir_cols: np.ndarray = field(repr=False)
+    #: ``(Q, K)`` plain mean-centred ratings — only kept when
+    #: ``adjust_biases`` is off (SUR' then cannot reuse ``suir_cols``).
+    dev_cols: np.ndarray | None = field(repr=False)
+    #: ``(Q,)`` Eq. 11 weights of the active profile.
+    w_row: np.ndarray = field(repr=False)
+    #: ``(Q,)`` active profile, item-mean-centred when ``adjust_biases``.
+    profile_sir: np.ndarray = field(repr=False)
+    #: Active user's mean rating (the fallback anchor).
+    mean: float
+
+    @property
+    def k(self) -> int:
+        """Number of selected like-minded users."""
+        return int(self.su.size)
+
+
+#: How many prepared-user allocations each bump-allocator slab holds.
+#: Refills are rare at this size (once per 32 distinct active users),
+#: and :meth:`FusionKernel.warm_prep_slab` pre-faults the first slab
+#: offline so steady-state request handling never pays the fill.
+_PREP_SLAB_USERS = 32
+
+
+class FusionKernel:
+    """Batched evaluation of Eqs. 12–14 over stacked local matrices.
+
+    The scalar path (:func:`fuse`) materialises one ``(K, M)`` local
+    matrix per request.  This kernel evaluates each active user's block
+    of requests at once: the three component predictors become
+    einsum-fused reductions over ``(R, M)``, ``(R, K)`` and
+    ``(R·M, K)`` stacks gathered from the user's prepared item-major
+    arrays.  Zero-padded neighbour slots carry *exactly* zero weight
+    (the Eq. 13 pair similarity is computed in an exact-zero
+    formulation), so padded cells are arithmetically identical to
+    exclusion and the batched results match the scalar path to float64
+    round-off.
+
+    The kernel holds three extra ``(P, Q)`` float64 matrices (the
+    global Eq. 11 weights, the mean-centred ratings, and the
+    item-mean-adjusted SUIR' deviations) — the same O(P·Q) footprint
+    class as the dense smoothed matrix they derive from.
+
+    Requests are processed in chunks bounded by ``chunk_elems`` stacked
+    elements so temporary memory stays flat regardless of batch size.
+    """
+
+    def __init__(
+        self,
+        smoothed: SmoothedRatings,
+        cache: NeighborCache,
+        item_means: np.ndarray,
+        global_mean: float,
+        *,
+        lam: float,
+        delta: float,
+        epsilon: float,
+        adjust_biases: bool = True,
+        chunk_elems: int = 2_000_000,
+    ) -> None:
+        check_fraction(epsilon, "epsilon")
+        self.w_sir, self.w_sur, self.w_suir = fusion_weights(lam, delta)
+        self.epsilon = float(epsilon)
+        self.adjust_biases = bool(adjust_biases)
+        self.chunk_elems = int(chunk_elems)
+        self.cache = cache
+        self.item_means = np.asarray(item_means, dtype=np.float64)
+        self.global_mean = float(global_mean)
+        self._imean_dev = self.item_means - self.global_mean
+        # Global per-cell Eq. 11 weights and mean-centred ratings; built
+        # with the same np.where/subtract the scalar path applies per
+        # request, so gathered entries are bit-identical.
+        self._weight_matrix = smoothed.weights(epsilon)
+        self._dev_matrix = smoothed.values - smoothed.user_means[:, None]
+        self._values = smoothed.values
+        # SUIR' deviation source, with the item-mean correction already
+        # folded in when adjust_biases (see PreparedActiveUser).
+        if self.adjust_biases:
+            self._suir_matrix = self._dev_matrix - self._imean_dev[None, :]
+        else:
+            self._suir_matrix = self._values
+        # Reusable per-block workspaces (the three largest temporaries:
+        # the Eq. 13 pair weights and the gathered user-column stacks).
+        # Fresh >=128 KiB allocations tend to come from fresh mmap pages,
+        # whose first-touch page faults show up directly in serving
+        # latency; reusing kernel-owned buffers keeps the pages warm.
+        # fuse_many is correspondingly not re-entrant — callers that
+        # share a kernel across threads must serialise calls.
+        self._pair_scratch = np.empty(0, dtype=np.float64)
+        self._wg_scratch = np.empty(0, dtype=np.float64)
+        self._dg_scratch = np.empty(0, dtype=np.float64)
+        # Row-gather staging for prepare_user: a fresh (k, Q) temporary
+        # per call would exceed the allocator's mmap threshold, so each
+        # gather would fault in (and then unmap) ~200 KiB of pages.
+        self._row_scratch = np.empty(0, dtype=np.float64)
+        # Bump allocator for the persistent per-user prepared arrays.
+        # Each slab is pre-faulted in one streaming pass (sequential
+        # first-touch is several times cheaper than faulting the same
+        # pages on demand from the scattered gather writes), then
+        # handed out slab-sequentially.  A retired slab is freed as
+        # soon as every PreparedActiveUser viewing it is dropped, so
+        # resident growth stays bounded by the caller's state cache.
+        self._prep_slab = np.empty(0, dtype=np.float64)
+        self._prep_slab_pos = 0
+
+    @property
+    def weight_matrix(self) -> np.ndarray:
+        """``(P, Q)`` global Eq. 11 weights (shared with user selection)."""
+        return self._weight_matrix
+
+    @property
+    def deviation_matrix(self) -> np.ndarray:
+        """``(P, Q)`` global mean-centred ratings (shared with selection)."""
+        return self._dev_matrix
+
+    def memory_bytes(self) -> int:
+        """Resident size of the kernel's derived global matrices."""
+        total = self._weight_matrix.nbytes + self._dev_matrix.nbytes
+        if self._suir_matrix is not self._values:
+            total += self._suir_matrix.nbytes
+        return int(total)
+
+    def warm_prep_slab(self, k: int) -> None:
+        """Pre-fault the first prepared-user slab for top-``k`` selection.
+
+        Called from the offline/build path so the first
+        ``_PREP_SLAB_USERS`` online :meth:`prepare_user` calls write
+        into already-faulted pages instead of taking minor faults on
+        the request path.  A no-op when a slab with room already exists.
+        """
+        count = 2 if self.adjust_biases else 3
+        need = self._weight_matrix.shape[1] * max(int(k), 1) * count
+        if self._prep_slab.size - self._prep_slab_pos < need:
+            self._prep_views(self._weight_matrix.shape[1], max(int(k), 1), count)
+            self._prep_slab_pos = 0
+
+    def _prep_views(self, rows: int, cols: int, count: int) -> list[np.ndarray]:
+        """Carve ``count`` contiguous ``(rows, cols)`` arrays off the slab."""
+        per = rows * cols
+        need = per * count
+        if self._prep_slab.size - self._prep_slab_pos < need:
+            slab = np.empty(need * _PREP_SLAB_USERS, dtype=np.float64)
+            slab.fill(0.0)  # sequential first-touch faults every page now
+            self._prep_slab = slab
+            self._prep_slab_pos = 0
+        pos = self._prep_slab_pos
+        self._prep_slab_pos = pos + need
+        return [
+            self._prep_slab[pos + i * per : pos + (i + 1) * per].reshape(rows, cols)
+            for i in range(count)
+        ]
+
+    def prepare_user(
+        self,
+        users: np.ndarray,
+        user_sims: np.ndarray,
+        profile: np.ndarray,
+        observed: np.ndarray,
+        mean: float,
+    ) -> PreparedActiveUser:
+        """Gather the per-active-user arrays the batched path needs.
+
+        Parameters mirror the scalar path's inputs: the selected top-K
+        training users with their similarities, the active profile
+        (dense, blended), its provenance mask, and the active mean.
+        """
+        su = np.maximum(np.asarray(user_sims, dtype=np.float64), 0.0)
+        users = np.asarray(users, dtype=np.intp)
+        k = int(users.size)
+        q_n = self._weight_matrix.shape[1]
+        if k:
+            views = self._prep_views(q_n, k, 2 if self.adjust_biases else 3)
+            if self._row_scratch.size < k * q_n:
+                self._row_scratch = np.empty(k * q_n, dtype=np.float64)
+            rows = self._row_scratch[: k * q_n].reshape(k, q_n)
+            # Row-gather into the staging buffer (contiguous reads),
+            # then write the column-major copy in one pass, folding in
+            # the su factor where it applies.
+            wsu_cols = views[0]
+            np.take(self._weight_matrix, users, axis=0, mode="clip", out=rows)
+            np.multiply(rows.T, su[None, :], out=wsu_cols)
+            suir_cols = views[1]
+            np.take(self._suir_matrix, users, axis=0, mode="clip", out=rows)
+            np.copyto(suir_cols, rows.T)
+            if self.adjust_biases:
+                dev_cols = None
+            else:
+                dev_cols = views[2]
+                np.take(self._dev_matrix, users, axis=0, mode="clip", out=rows)
+                np.copyto(dev_cols, rows.T)
+        else:
+            wsu_cols = np.zeros((q_n, 0), dtype=np.float64)
+            suir_cols = np.zeros((q_n, 0), dtype=np.float64)
+            dev_cols = None if self.adjust_biases else np.zeros((q_n, 0), dtype=np.float64)
+        return PreparedActiveUser(
+            su=su,
+            su_sq=su * su + 1e-300,
+            wsu_cols=wsu_cols,
+            suir_cols=suir_cols,
+            dev_cols=dev_cols,
+            w_row=np.where(observed, self.epsilon, 1.0 - self.epsilon),
+            profile_sir=(profile - self.item_means) if self.adjust_biases else profile,
+            mean=float(mean),
+        )
+
+    def fuse_many(
+        self, blocks: Sequence[tuple[PreparedActiveUser, np.ndarray]]
+    ) -> np.ndarray:
+        """Fused predictions for many ``(active user, items)`` blocks.
+
+        ``blocks`` is a sequence of ``(prepared, item_indices)`` pairs;
+        the return value concatenates the per-block predictions in
+        order.  Oversized blocks are split so each stacked evaluation
+        stays under ``chunk_elems`` elements.
+        """
+        pieces: list[tuple[PreparedActiveUser, np.ndarray]] = []
+        for prep, items in blocks:
+            arr = np.asarray(items, dtype=np.intp)
+            if arr.size:
+                pieces.append((prep, arr))
+        total = sum(arr.size for _, arr in pieces)
+        out = np.empty(total, dtype=np.float64)
+        if not total:
+            return out
+        M = max(self.cache.m, 1)
+        budget = max(self.chunk_elems, M)
+        pos = 0
+        for prep, items in pieces:
+            cap = max(1, budget // (max(prep.k, 1) * M))
+            for start in range(0, items.size, cap):
+                sub = items[start : start + cap]
+                self._fuse_block(prep, sub, out[pos : pos + sub.size])
+                pos += sub.size
+        return out
+
+    def _fuse_block(
+        self, prep: PreparedActiveUser, q: np.ndarray, out: np.ndarray
+    ) -> None:
+        """Evaluate one active user's block of requests into ``out``."""
+        R = q.size
+        M = self.cache.m
+        K = prep.k
+        mean = prep.mean
+        # All gathers below use np.take(..., mode="clip"): the indices
+        # are kernel-built (neighbour cache rows and validated request
+        # items, always within range), and skipping numpy's bounds-check
+        # pass makes the gathers measurably cheaper.
+        nbr = self.cache.indices[q]                  # (R, M) int32, zero-padded
+        si = self.cache.sims[q]                      # (R, M) float64, >= 0
+        si_sq = self.cache.sims_sq[q]
+        flat = nbr.ravel()
+        adjust = self.adjust_biases
+
+        # --- SIR': active-user ratings on each request's neighbours ---
+        sir_w = np.take(prep.w_row, flat, mode="clip").reshape(R, M)
+        sir_w *= si
+        pdev = np.take(prep.profile_sir, flat, mode="clip").reshape(R, M)
+        sir_den = sir_w.sum(axis=1)
+        sir_num = np.einsum("rm,rm->r", sir_w, pdev)
+        ok = sir_den > 0.0
+        safe = np.where(ok, sir_den, 1.0)
+        if adjust:
+            sir = np.where(ok, self.item_means[q] + sir_num / safe, mean)
+        else:
+            sir = np.where(ok, sir_num / safe, mean)
+
+        if not K:
+            np.multiply(sir, self.w_sir, out=out)
+            out += (self.w_sur + self.w_suir) * mean
+            return
+
+        # --- SUR': top-K users' ratings on the active item --------------
+        # wsu_cols already carries the su factor; when adjust_biases the
+        # deviation source is item-mean-shifted, which the constant
+        # imean_dev[q] term undoes after the weighted average.
+        w_col = np.take(prep.wsu_cols, q, axis=0, mode="clip")       # (R, K)
+        d_col = np.take(
+            prep.suir_cols if prep.dev_cols is None else prep.dev_cols,
+            q,
+            axis=0,
+            mode="clip",
+        )
+        sur_den = w_col.sum(axis=1)
+        sur_num = np.einsum("rk,rk->r", w_col, d_col)
+        ok = sur_den > 0.0
+        safe = np.where(ok, sur_den, 1.0)
+        if prep.dev_cols is None:
+            sur = np.where(ok, mean + self._imean_dev[q] + sur_num / safe, mean)
+        else:
+            sur = np.where(ok, mean + sur_num / safe, mean)
+
+        # --- SUIR': every (neighbour item, top-K user) cell -------------
+        need = R * M * K
+        if self._pair_scratch.size < need:
+            self._pair_scratch = np.empty(need, dtype=np.float64)
+            self._wg_scratch = np.empty(need, dtype=np.float64)
+            self._dg_scratch = np.empty(need, dtype=np.float64)
+        Wg = np.take(
+            prep.wsu_cols, flat, axis=0, mode="clip",
+            out=self._wg_scratch[:need].reshape(R * M, K),
+        )
+        Dg = np.take(
+            prep.suir_cols, flat, axis=0, mode="clip",
+            out=self._dg_scratch[:need].reshape(R * M, K),
+        )
+        # Eq. 13 in an exact-zero form: the tiny offset keeps the
+        # denominator away from 0 without perturbing any real value,
+        # and si/den is exactly 0 whenever si is 0 (incl. zero-padded
+        # cells) while wsu_cols is exactly 0 wherever su is 0 — so the
+        # den > 0 fallback below matches the scalar path's branch.
+        pair = self._pair_scratch[:need].reshape(R * M, K)
+        np.add(prep.su_sq, si_sq.reshape(R * M, 1), out=pair)
+        np.sqrt(pair, out=pair)
+        np.divide(si.reshape(R * M, 1), pair, out=pair)
+        pair *= Wg                                   # T = pair-sim · su · weight
+        suir_den = pair.reshape(R, M * K).sum(axis=1)
+        # The item-mean correction lives in suir_cols, so the whole
+        # numerator is one two-operand contraction against T.
+        num = np.einsum("nk,nk->n", pair, Dg).reshape(R, M).sum(axis=1)
+        ok = suir_den > 0.0
+        safe = np.where(ok, suir_den, 1.0)
+        if adjust:
+            suir = np.where(ok, mean + self._imean_dev[q] + num / safe, mean)
+        else:
+            suir = np.where(ok, num / safe, mean)
+
+        np.multiply(sir, self.w_sir, out=out)
+        out += self.w_sur * sur
+        out += self.w_suir * suir

@@ -24,7 +24,114 @@ from repro.obs import span
 from repro.similarity import Centering, apply_threshold, item_pcc
 from repro.utils.validation import check_positive_int
 
-__all__ = ["GlobalItemSimilarity", "build_gis"]
+__all__ = ["GlobalItemSimilarity", "NeighborCache", "build_gis", "build_neighbor_cache"]
+
+
+@dataclass
+class NeighborCache:
+    """Precomputed per-item top-M neighbourhoods (the online hot path).
+
+    ``top_m`` on the full GIS slices a ``(Q, Q-1)`` index matrix and
+    gathers similarities from the dense ``(Q, Q)`` similarity matrix on
+    every request.  This cache freezes the result of that selection at
+    build time into compact ``int32``/``float32`` arrays so the online
+    phase — and the snapshot a serving fleet ships around — touches
+    ``O(Q·M)`` memory instead of ``O(Q²)``.
+
+    Attributes
+    ----------
+    indices:
+        ``(Q, M)`` ``int32`` neighbour item ids per row, descending
+        similarity, zero-padded past ``counts[item]``.
+    sims32:
+        ``(Q, M)`` ``float32`` similarities aligned with ``indices``,
+        zero-padded.  These rounded values are the *canonical* ones:
+        every online path reads the same float64 upcast (``sims``), so
+        scalar and batched predictions agree bit-for-bit and a model
+        restored from a snapshot serves exactly what the builder did.
+    counts:
+        ``(Q,)`` ``int32`` number of valid (positive-similarity)
+        neighbours per item.
+    m:
+        The configured neighbourhood size ``M``.
+    """
+
+    indices: np.ndarray = field(repr=False)
+    sims32: np.ndarray = field(repr=False)
+    counts: np.ndarray = field(repr=False)
+    m: int
+
+    def __post_init__(self) -> None:
+        # Derived float64 views used by the fusion kernels; computed once
+        # here so save/load round-trips stay deterministic.
+        self.sims = self.sims32.astype(np.float64)
+        self.sims_sq = self.sims * self.sims
+
+    @property
+    def n_items(self) -> int:
+        """Number of items ``Q``."""
+        return self.indices.shape[0]
+
+    def top_m(self, item: int, m: int) -> tuple[np.ndarray, np.ndarray]:
+        """Cached equivalent of :meth:`GlobalItemSimilarity.top_m`.
+
+        Valid for any ``m <= self.m`` (rows are sorted descending, so a
+        shorter prefix is exactly the smaller selection).
+        """
+        if m > self.m:
+            raise ValueError(f"cache holds top-{self.m} neighbours, asked for {m}")
+        count = min(int(self.counts[item]), m)
+        return (
+            self.indices[item, :count].astype(np.intp),
+            self.sims[item, :count],
+        )
+
+    def narrowed(self, m: int) -> "NeighborCache":
+        """A width-``m`` cache sharing this one's values (``m <= self.m``).
+
+        Rows are descending, so the prefix slice *is* the smaller
+        selection — used when a kernel needs exactly ``m`` columns but
+        a wider cache is already attached.
+        """
+        if m == self.m:
+            return self
+        if m > self.m:
+            raise ValueError(f"cache holds top-{self.m} neighbours, asked for {m}")
+        return NeighborCache(
+            indices=np.ascontiguousarray(self.indices[:, :m]),
+            sims32=np.ascontiguousarray(self.sims32[:, :m]),
+            counts=np.minimum(self.counts, np.int32(m)),
+            m=int(m),
+        )
+
+    def memory_bytes(self) -> int:
+        """Resident size of the persisted arrays (excludes f64 upcasts)."""
+        return int(self.indices.nbytes + self.sims32.nbytes + self.counts.nbytes)
+
+
+def build_neighbor_cache(gis: "GlobalItemSimilarity", m: int) -> NeighborCache:
+    """Materialise every item's top-``m`` positive neighbours.
+
+    The GIS rows are already sorted descending, so the positive entries
+    form a prefix of each row; the cache is a slice + gather, padded
+    with zeros (a zero similarity carries zero fusion weight, which is
+    arithmetically identical to exclusion).
+    """
+    check_positive_int(m, "m")
+    m_eff = min(m, gis.neighbours.shape[1])
+    indices = gis.neighbours[:, :m_eff].astype(np.int32)
+    if m_eff < m:  # tiny catalogues: pad out to the requested width
+        pad = np.zeros((gis.n_items, m - m_eff), dtype=np.int32)
+        indices = np.concatenate([indices, pad], axis=1)
+    sims = np.take_along_axis(gis.sim, indices.astype(np.intp), axis=1)
+    if m_eff < m:
+        sims[:, m_eff:] = 0.0
+    sims32 = np.maximum(sims, 0.0).astype(np.float32)
+    valid = sims32 > 0.0
+    counts = valid.sum(axis=1, dtype=np.int32)
+    sims32[~valid] = 0.0
+    indices = np.where(valid, indices, 0).astype(np.int32)
+    return NeighborCache(indices=indices, sims32=sims32, counts=counts, m=int(m))
 
 
 @dataclass
@@ -49,11 +156,21 @@ class GlobalItemSimilarity:
     neighbours: np.ndarray = field(repr=False)
     threshold: float
     centering: Centering
+    #: Optional precomputed top-M cache (see :class:`NeighborCache`).
+    #: When attached, ``top_m`` serves eligible requests from it so the
+    #: scalar and batched online paths read identical similarity values.
+    cache: NeighborCache | None = field(default=None, repr=False, compare=False)
 
     @property
     def n_items(self) -> int:
         """Number of items ``Q``."""
         return self.sim.shape[0]
+
+    def attach_cache(self, m: int) -> NeighborCache:
+        """Build (or reuse) a :class:`NeighborCache` of width ``m``."""
+        if self.cache is None or self.cache.m < m:
+            self.cache = build_neighbor_cache(self, m)
+        return self.cache
 
     def top_m(self, item: int, m: int) -> tuple[np.ndarray, np.ndarray]:
         """The paper's "top M similar items" for an active item.
@@ -64,6 +181,10 @@ class GlobalItemSimilarity:
         a non-positively-correlated "similar item" would contribute
         noise with a negative or zero fusion weight.
 
+        When a :class:`NeighborCache` is attached and covers ``m``, the
+        selection is a cached array slice instead of a gather over the
+        full similarity row.
+
         Notes
         -----
         The slice may be shorter than ``m`` when fewer positive
@@ -72,6 +193,8 @@ class GlobalItemSimilarity:
         check_positive_int(m, "m")
         if not 0 <= item < self.n_items:
             raise ValueError(f"item {item} out of range [0, {self.n_items})")
+        if self.cache is not None and m <= self.cache.m:
+            return self.cache.top_m(item, m)
         cand = self.neighbours[item, : min(m, self.neighbours.shape[1])]
         sims = self.sim[item, cand]
         keep = sims > 0.0

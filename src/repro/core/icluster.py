@@ -29,15 +29,46 @@ import numpy as np
 from repro.core.smoothing import SmoothedRatings
 from repro.obs import span
 
-__all__ = ["IClusterIndex", "build_icluster", "user_cluster_affinity"]
+__all__ = [
+    "IClusterIndex",
+    "PreparedAffinity",
+    "build_icluster",
+    "prepare_affinity",
+    "profile_cluster_affinity",
+    "user_cluster_affinity",
+]
+
+
+@dataclass(frozen=True)
+class PreparedAffinity:
+    """Cluster-side factors of Eq. 9, computed once per fitted model.
+
+    :func:`user_cluster_affinity` needs the masked deviations, their
+    squares and the coverage mask on every call; for a fitted model
+    these ``(L, Q)`` products never change, so precomputing them shaves
+    the dominant per-new-active-user cost off the online fold-in.
+    """
+
+    masked_deviations: np.ndarray = field(repr=False)   #: ``(L, Q)`` Δr·coverage
+    squared_deviations: np.ndarray = field(repr=False)  #: ``(L, Q)`` (Δr·coverage)²
+    cluster_mask: np.ndarray = field(repr=False)        #: ``(L, Q)`` coverage (0/1)
+
+
+def prepare_affinity(deviations: np.ndarray, deviation_counts: np.ndarray) -> PreparedAffinity:
+    """Precompute the cluster-side Eq. 9 factors for repeated use."""
+    cmask = (np.asarray(deviation_counts) > 0).astype(np.float64)  # (L, Q)
+    D = np.asarray(deviations, dtype=np.float64) * cmask
+    return PreparedAffinity(masked_deviations=D, squared_deviations=D * D, cluster_mask=cmask)
 
 
 def user_cluster_affinity(
     values: np.ndarray,
     mask: np.ndarray,
     user_means: np.ndarray,
-    deviations: np.ndarray,
-    deviation_counts: np.ndarray,
+    deviations: np.ndarray | None = None,
+    deviation_counts: np.ndarray | None = None,
+    *,
+    prepared: PreparedAffinity | None = None,
 ) -> np.ndarray:
     """Eq. 9 for a block of users against all clusters.
 
@@ -50,7 +81,12 @@ def user_cluster_affinity(
         ``(n,)`` per-user observed means (``r̄_u``).
     deviations, deviation_counts:
         ``(L, Q)`` cluster deviations and backing rater counts from
-        :func:`repro.core.smoothing.cluster_deviations`.
+        :func:`repro.core.smoothing.cluster_deviations`.  May be
+        omitted when ``prepared`` is given.
+    prepared:
+        Precomputed cluster-side factors from :func:`prepare_affinity`;
+        pass this on hot paths to skip recomputing the ``(L, Q)``
+        products per call.
 
     Returns
     -------
@@ -58,18 +94,61 @@ def user_cluster_affinity(
         ``(n, L)`` affinities in ``[-1, 1]``; 0 where the user and the
         cluster share no rated item or either side is constant.
     """
+    if prepared is None:
+        if deviations is None or deviation_counts is None:
+            raise ValueError("need either prepared= or deviations + deviation_counts")
+        prepared = prepare_affinity(deviations, deviation_counts)
     values = np.asarray(values, dtype=np.float64)
     mask = np.asarray(mask, dtype=bool)
     dev_u = (values - np.asarray(user_means, dtype=np.float64)[:, None]) * mask  # (n, Q)
-    cmask = (np.asarray(deviation_counts) > 0).astype(np.float64)  # (L, Q)
-    D = np.asarray(deviations, dtype=np.float64) * cmask
+    D = prepared.masked_deviations
 
-    num = dev_u @ D.T                                  # (n, L)
-    den1 = mask.astype(np.float64) @ (D * D).T          # Σ Δr² over user's items
-    den2 = (dev_u * dev_u) @ cmask.T                    # Σ dev² over cluster's items
+    num = dev_u @ D.T                                            # (n, L)
+    den1 = mask.astype(np.float64) @ prepared.squared_deviations.T  # Σ Δr² over user's items
+    den2 = (dev_u * dev_u) @ prepared.cluster_mask.T                # Σ dev² over cluster's items
     denom = np.sqrt(den1 * den2)
     with np.errstate(invalid="ignore", divide="ignore"):
         sim = np.where(denom > 0.0, num / np.where(denom > 0.0, denom, 1.0), 0.0)
+    np.clip(sim, -1.0, 1.0, out=sim)
+    return sim
+
+
+def profile_cluster_affinity(
+    item_indices: np.ndarray,
+    deviations: np.ndarray,
+    prepared: PreparedAffinity,
+) -> np.ndarray:
+    """Eq. 9 for one sparse active profile — the online fold-in hot path.
+
+    Equivalent to :func:`user_cluster_affinity` on the densified
+    single-row inputs, but sums run over the ``f`` rated items only
+    (``O(L·f)`` instead of ``O(L·Q)``): every skipped column
+    contributes exactly zero to each dense matmul, so only float
+    summation order differs.
+
+    Parameters
+    ----------
+    item_indices:
+        ``(f,)`` item indices the active user has rated.
+    deviations:
+        ``(f,)`` the active user's mean-centred ratings on those items.
+    prepared:
+        Cluster-side factors from :func:`prepare_affinity`.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(L,)`` affinities in ``[-1, 1]``; 0 where degenerate.
+    """
+    if item_indices.size == 0:
+        return np.zeros(prepared.masked_deviations.shape[0], dtype=np.float64)
+    D = prepared.masked_deviations[:, item_indices]          # (L, f)
+    num = D @ deviations
+    den1 = prepared.squared_deviations[:, item_indices].sum(axis=1)
+    den2 = prepared.cluster_mask[:, item_indices] @ (deviations * deviations)
+    denom = np.sqrt(den1 * den2)
+    ok = denom > 0.0
+    sim = np.where(ok, num / np.where(ok, denom, 1.0), 0.0)
     np.clip(sim, -1.0, 1.0, out=sim)
     return sim
 
@@ -145,7 +224,9 @@ class IClusterIndex:
         return np.concatenate(chunks)
 
 
-def build_icluster(smoothed: SmoothedRatings, train_mask: np.ndarray, train_values: np.ndarray) -> IClusterIndex:
+def build_icluster(
+    smoothed: SmoothedRatings, train_mask: np.ndarray, train_values: np.ndarray
+) -> IClusterIndex:
     """Build the iCluster index for the training population.
 
     Parameters

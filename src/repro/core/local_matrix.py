@@ -104,6 +104,7 @@ def build_local_matrix(
     epsilon: float,
     item_means: np.ndarray,
     global_mean: float,
+    weight_matrix: np.ndarray | None = None,
 ) -> LocalMatrix:
     """Gather the local matrix for one (active user, active item) pair.
 
@@ -132,13 +133,23 @@ def build_local_matrix(
         ``(Q,)`` per-item training means.
     global_mean:
         Training global mean.
+    weight_matrix:
+        Optional precomputed ``(P, Q)`` Eq. 11 weight matrix (e.g. the
+        :class:`repro.core.fusion.FusionKernel`'s).  When given, the
+        training-side weights are gathered from it instead of being
+        rebuilt from the provenance mask per request.  Must match
+        ``smoothed`` + ``epsilon`` (not re-checked).
     """
-    w_user = np.where(
-        smoothed.observed_mask[np.ix_(user_indices, item_indices)], epsilon, 1.0 - epsilon
-    )
-    w_active_col = np.where(
-        smoothed.observed_mask[user_indices, active_item], epsilon, 1.0 - epsilon
-    )
+    if weight_matrix is not None:
+        w_user = weight_matrix[np.ix_(user_indices, item_indices)]
+        w_active_col = weight_matrix[user_indices, active_item]
+    else:
+        w_user = np.where(
+            smoothed.observed_mask[np.ix_(user_indices, item_indices)], epsilon, 1.0 - epsilon
+        )
+        w_active_col = np.where(
+            smoothed.observed_mask[user_indices, active_item], epsilon, 1.0 - epsilon
+        )
     w_active_row = np.where(active_observed[item_indices], epsilon, 1.0 - epsilon)
     return LocalMatrix(
         item_indices=item_indices,

@@ -26,10 +26,12 @@ Two equivalent online implementations exist:
   :class:`~repro.core.local_matrix.LocalMatrix` and
   :func:`~repro.core.fusion.fuse`; transparent, introspectable, used by
   tests and ablations.
-* :meth:`CFSF.predict_many` — a batched path that vectorises all of a
-  user's requested items at once.  The test suite asserts the two agree
-  to float precision; the batched path is what the scalability
-  experiments (Fig. 5) time.
+* :meth:`CFSF.predict_many` — the production path: a batched
+  :class:`~repro.core.fusion.FusionKernel` evaluates every request of a
+  batch over stacked local matrices, reading top-M neighbourhoods from
+  the offline-built :class:`~repro.core.gis.NeighborCache`.  The test
+  suite asserts the two agree to float precision; the batched path is
+  what the scalability experiments (Fig. 5) time.
 
 Per-active-user intermediate results (cluster assignment, densified
 profile, top-K selection) are LRU-cached across calls, reproducing the
@@ -46,9 +48,16 @@ import numpy as np
 from repro.baselines.base import Recommender
 from repro.core.config import CFSFConfig
 from repro.core.clustering import UserClusters, cluster_users
-from repro.core.fusion import FusedPrediction, fuse, fusion_weights, pair_similarity
+from repro.core.fusion import FusedPrediction, FusionKernel, PreparedActiveUser, fuse
 from repro.core.gis import GlobalItemSimilarity, build_gis
-from repro.core.icluster import IClusterIndex, build_icluster, user_cluster_affinity
+from repro.core.icluster import (
+    IClusterIndex,
+    PreparedAffinity,
+    build_icluster,
+    prepare_affinity,
+    profile_cluster_affinity,
+    user_cluster_affinity,
+)
 from repro.core.local_matrix import LocalMatrix, build_local_matrix
 from repro.core.selection import TopKUsers, select_top_k_users
 from repro.core.smoothing import SmoothedRatings, smooth_ratings
@@ -69,6 +78,7 @@ class ActiveUserState:
     mean: float                  # mean of given ratings
     cluster_ranking: np.ndarray  # (L,) clusters by descending affinity
     top_k: TopKUsers             # selected like-minded users
+    prepared: PreparedActiveUser | None = None  # kernel-side gathered arrays
 
 
 class CFSF(Recommender):
@@ -101,6 +111,9 @@ class CFSF(Recommender):
         self.clusters: UserClusters | None = None
         self.smoothed: SmoothedRatings | None = None
         self.icluster: IClusterIndex | None = None
+        self.kernel: FusionKernel | None = None
+        self._kernel_params: tuple | None = None
+        self._affinity_prep: PreparedAffinity | None = None
         self._cache = LRUCache(maxsize=cfg.cache_size)
 
     @property
@@ -147,10 +160,40 @@ class CFSF(Recommender):
             self.icluster = build_icluster(self.smoothed, train.mask, train.values)
         self._item_means = train.item_means()
         self._global_mean = train.global_mean()
-        self._cache.clear()
+        self.build_online_kernel()
         return self
 
-    def _require_online(self) -> tuple[RatingMatrix, GlobalItemSimilarity, SmoothedRatings, IClusterIndex]:
+    def build_online_kernel(self) -> None:
+        """Materialise the online hot-path structures from the offline state.
+
+        Attaches the top-M :class:`~repro.core.gis.NeighborCache` to the
+        GIS, builds the batched :class:`~repro.core.fusion.FusionKernel`
+        and precomputes the cluster-side Eq. 9 factors.  Called by
+        :meth:`fit` and by snapshot restore; idempotent, and safe to
+        call again after mutating the offline state (it clears the
+        per-active-user cache so stale prepared arrays are dropped).
+        """
+        train, gis, smoothed, _ = self._require_online()
+        cfg = self.config
+        cache = gis.attach_cache(cfg.top_m_items).narrowed(cfg.top_m_items)
+        self.kernel = FusionKernel(
+            smoothed,
+            cache,
+            self._item_means,
+            self._global_mean,
+            lam=cfg.lam,
+            delta=cfg.delta,
+            epsilon=cfg.epsilon,
+            adjust_biases=cfg.adjust_biases,
+        )
+        self.kernel.warm_prep_slab(cfg.top_k_users)
+        self._kernel_params = (cfg.lam, cfg.delta, cfg.epsilon, cfg.adjust_biases, cfg.top_m_items)
+        self._affinity_prep = prepare_affinity(smoothed.deviations, smoothed.deviation_counts)
+        self._cache.clear()
+
+    def _require_online(
+        self,
+    ) -> tuple[RatingMatrix, GlobalItemSimilarity, SmoothedRatings, IClusterIndex]:
         train = self._require_fitted()
         assert self.gis is not None and self.smoothed is not None and self.icluster is not None
         return train, self.gis, self.smoothed, self.icluster
@@ -167,7 +210,7 @@ class CFSF(Recommender):
 
         Historically a poisoned given matrix (possible when an
         ingestion layer bypasses :class:`RatingMatrix` validation)
-        failed deep inside :meth:`_fuse_batch` with an opaque NaN
+        failed deep inside the fusion kernel with an opaque NaN
         result; now it is rejected here with a typed
         :class:`~repro.serving.errors.InvalidRequestError`.  The scan
         is O(P·Q) so its verdict is memoised per given-fingerprint in
@@ -210,16 +253,20 @@ class CFSF(Recommender):
         cfg = self.config
         items_idx, ratings = given.user_profile(user)
         mean = float(ratings.mean()) if ratings.size else train.global_mean()
+        active_dev = ratings - mean
 
-        row_vals = given.values[user : user + 1]
-        row_mask = given.mask[user : user + 1]
-        affinity = user_cluster_affinity(
-            row_vals,
-            row_mask,
-            np.array([mean]),
-            smoothed.deviations,
-            smoothed.deviation_counts,
-        )[0]
+        if self._affinity_prep is not None:
+            affinity = profile_cluster_affinity(
+                items_idx, active_dev, self._affinity_prep
+            )
+        else:
+            affinity = user_cluster_affinity(
+                given.values[user : user + 1],
+                given.mask[user : user + 1],
+                np.array([mean]),
+                smoothed.deviations,
+                smoothed.deviation_counts,
+            )[0]
         ranking = np.argsort(-affinity, kind="stable").astype(np.intp)
 
         # Smooth the active profile from the top clusters.  With one
@@ -244,7 +291,7 @@ class CFSF(Recommender):
         )
         if candidates.size == 0:
             candidates = np.arange(train.n_users, dtype=np.intp)
-        active_dev = ratings - mean
+        kernel = self.kernel
         top_k = select_top_k_users(
             items_idx,
             active_dev,
@@ -252,13 +299,22 @@ class CFSF(Recommender):
             smoothed,
             k=cfg.top_k_users,
             epsilon=cfg.epsilon,
+            weight_matrix=kernel.weight_matrix if kernel is not None else None,
+            deviation_matrix=kernel.deviation_matrix if kernel is not None else None,
+        )
+        observed = given.mask[user].copy()
+        prepared = (
+            kernel.prepare_user(top_k.users, top_k.similarities, profile, observed, mean)
+            if kernel is not None
+            else None
         )
         return ActiveUserState(
             profile=profile,
-            observed=given.mask[user].copy(),
+            observed=observed,
             mean=mean,
             cluster_ranking=ranking,
             top_k=top_k,
+            prepared=prepared,
         )
 
     # ------------------------------------------------------------------
@@ -272,6 +328,7 @@ class CFSF(Recommender):
                 f"item {item} out of range [0, {train.n_items})"
             )
         self._validate_given(given)
+        kernel = self._require_kernel()
         state = self.active_user_state(given, user)
         item_idx, item_sims = gis.top_m(item, self.config.top_m_items)
         return build_local_matrix(
@@ -287,6 +344,7 @@ class CFSF(Recommender):
             epsilon=self.config.epsilon,
             item_means=self._item_means,
             global_mean=self._global_mean,
+            weight_matrix=kernel.weight_matrix,
         )
 
     def predict_one_detailed(
@@ -314,128 +372,84 @@ class CFSF(Recommender):
         if users.size == 0:
             return np.empty(0, dtype=np.float64)
         self._validate_given(given)
-        train, gis, smoothed, _ = self._require_online()
-        cfg = self.config
-        w_sir, w_sur, w_suir = fusion_weights(cfg.lam, cfg.delta)
-        M = cfg.top_m_items
+        self._require_online()
+        kernel = self._require_kernel()
         out = np.empty(users.shape, dtype=np.float64)
+
+        diffs = np.diff(users)
+        boundaries = np.nonzero(diffs)[0]
+        if boundaries.size == 0:
+            # Single-user batch (the common live-traffic shape): skip
+            # the sort/split bookkeeping entirely.
+            prepared = self._prepared_for(given, int(users[0]), kernel)
+            return self._clip(kernel.fuse_many([(prepared, items)]))
+
+        if (diffs[boundaries] > 0).all():
+            # Already user-sorted (the live-traffic shape after a
+            # router groups requests): contiguous runs are the blocks
+            # and the fused output is already in request order, so the
+            # argsort / scatter bookkeeping drops out entirely.
+            edges = [0, *(boundaries + 1).tolist(), users.size]
+            fuse_blocks = []
+            for start, stop in zip(edges[:-1], edges[1:]):
+                prepared = self._prepared_for(given, int(users[start]), kernel)
+                fuse_blocks.append((prepared, items[start:stop]))
+            return self._clip(kernel.fuse_many(fuse_blocks))
 
         order = np.argsort(users, kind="stable")
         boundaries = np.nonzero(np.diff(users[order]))[0] + 1
-        for block in np.split(np.arange(users.size)[order], boundaries):
-            u = int(users[block[0]])
-            q_items = items[block]
-            state = self.active_user_state(given, u)
-            out[block] = self._fuse_batch(
-                state, q_items, gis, smoothed, M, w_sir, w_sur, w_suir, cfg.epsilon
-            )
+        blocks = np.split(np.arange(users.size)[order], boundaries)
+        fuse_blocks = []
+        for block in blocks:
+            prepared = self._prepared_for(given, int(users[block[0]]), kernel)
+            fuse_blocks.append((prepared, items[block]))
+        fused = kernel.fuse_many(fuse_blocks)
+        pos = 0
+        for block in blocks:
+            out[block] = fused[pos : pos + block.size]
+            pos += block.size
         return self._clip(out)
 
-    def _fuse_batch(
-        self,
-        state: ActiveUserState,
-        q_items: np.ndarray,
-        gis: GlobalItemSimilarity,
-        smoothed: SmoothedRatings,
-        M: int,
-        w_sir: float,
-        w_sur: float,
-        w_suir: float,
-        epsilon: float,
-    ) -> np.ndarray:
-        """Vectorised Eqs. 12–14 for one user's batch of items.
+    def _prepared_for(
+        self, given: RatingMatrix, user: int, kernel: FusionKernel
+    ) -> PreparedActiveUser:
+        """Cached prepared-user arrays for ``user`` (preparing if stale)."""
+        state = self.active_user_state(given, user)
+        prepared = state.prepared
+        if prepared is None:  # state cached before the kernel existed
+            prepared = kernel.prepare_user(
+                state.top_k.users,
+                state.top_k.similarities,
+                state.profile,
+                state.observed,
+                state.mean,
+            )
+        return prepared
 
-        Semantics match :func:`repro.core.fusion.fuse` exactly (the
-        positive-similarity filter of ``top_m`` becomes a zero weight
-        here, which is arithmetically identical).
+    def warm_online(self) -> None:
+        """Ensure the online hot-path structures exist (idempotent).
+
+        Serving layers call this before forking workers or taking
+        traffic so the first request does not pay the one-off kernel
+        build.  A fresh kernel is a no-op; only a missing or stale one
+        (config changed since fit) is rebuilt.
         """
-        nq = q_items.size
-        mb = state.mean
-        K_users = state.top_k.users
-        s_u = np.maximum(state.top_k.similarities, 0.0)
+        self._require_kernel()
 
-        # Top-M neighbourhoods for all queried items at once: (nq, M).
-        nbr = gis.neighbours[q_items, : min(M, gis.neighbours.shape[1])]
-        s_i = gis.sim[q_items[:, None], nbr]
-        np.maximum(s_i, 0.0, out=s_i)
+    def _require_kernel(self) -> FusionKernel:
+        """The batched fusion kernel, (re)built when absent or stale.
 
-        adjust = self.config.adjust_biases
-        imeans = self._item_means
-        gmean = self._global_mean
-
-        # ---- SIR' ------------------------------------------------------
-        w_row = np.where(state.observed[nbr], epsilon, 1.0 - epsilon)
-        sir_w = w_row * s_i
-        sir_den = sir_w.sum(axis=1)
-        if adjust:
-            sir_num = (sir_w * (state.profile[nbr] - imeans[nbr])).sum(axis=1)
-            with np.errstate(invalid="ignore", divide="ignore"):
-                sir = np.where(
-                    sir_den > 0.0,
-                    imeans[q_items] + sir_num / np.where(sir_den > 0.0, sir_den, 1.0),
-                    mb,
-                )
-        else:
-            sir_num = (sir_w * state.profile[nbr]).sum(axis=1)
-            with np.errstate(invalid="ignore", divide="ignore"):
-                sir = np.where(
-                    sir_den > 0.0, sir_num / np.where(sir_den > 0.0, sir_den, 1.0), mb
-                )
-
-        # ---- SUR' ------------------------------------------------------
-        if K_users.size:
-            r_col = smoothed.values[np.ix_(K_users, q_items)]           # (K, nq)
-            obs_col = smoothed.observed_mask[np.ix_(K_users, q_items)]
-            w_col = np.where(obs_col, epsilon, 1.0 - epsilon)
-            sur_w = w_col * s_u[:, None]
-            sur_den = sur_w.sum(axis=0)
-            offsets = r_col - smoothed.user_means[K_users][:, None]
-            sur_num = (sur_w * offsets).sum(axis=0)
-            with np.errstate(invalid="ignore", divide="ignore"):
-                sur = np.where(
-                    sur_den > 0.0, mb + sur_num / np.where(sur_den > 0.0, sur_den, 1.0), mb
-                )
-        else:
-            sur = np.full(nq, mb)
-
-        # ---- SUIR' -----------------------------------------------------
-        if K_users.size:
-            # pair[q, k, m] = Eq. 13 on (s_i[q, m], s_u[k])
-            si = s_i[:, None, :]                      # (nq, 1, M)
-            su = s_u[None, :, None]                   # (1, K, 1)
-            denom = np.sqrt(si * si + su * su)
-            with np.errstate(invalid="ignore", divide="ignore"):
-                pair = np.where(denom > 0.0, si * su / np.where(denom > 0.0, denom, 1.0), 0.0)
-            cells = smoothed.values[K_users[:, None, None], nbr[None, :, :]]        # (K, nq, M)
-            obs = smoothed.observed_mask[K_users[:, None, None], nbr[None, :, :]]
-            w_cells = np.where(obs, epsilon, 1.0 - epsilon)
-            # Align to (nq, K, M) for the reduction.
-            w_pair = pair * np.transpose(w_cells, (1, 0, 2))
-            suir_den = w_pair.sum(axis=(1, 2))
-            if adjust:
-                dev = (
-                    np.transpose(cells, (1, 0, 2))
-                    - smoothed.user_means[K_users][None, :, None]
-                    - (imeans[nbr][:, None, :] - gmean)
-                )
-                suir_num = (w_pair * dev).sum(axis=(1, 2))
-                anchor = mb + (imeans[q_items] - gmean)
-                with np.errstate(invalid="ignore", divide="ignore"):
-                    suir = np.where(
-                        suir_den > 0.0,
-                        anchor + suir_num / np.where(suir_den > 0.0, suir_den, 1.0),
-                        mb,
-                    )
-            else:
-                suir_num = (w_pair * np.transpose(cells, (1, 0, 2))).sum(axis=(1, 2))
-                with np.errstate(invalid="ignore", divide="ignore"):
-                    suir = np.where(
-                        suir_den > 0.0, suir_num / np.where(suir_den > 0.0, suir_den, 1.0), mb
-                    )
-        else:
-            suir = np.full(nq, mb)
-
-        return w_sir * sir + w_sur * sur + w_suir * suir
+        Staleness covers direct ``model.config`` replacement after fit
+        (the ablation suites flip ``lam``/``delta``/``adjust_biases`` on
+        a fitted model): the kernel bakes those in, so a changed config
+        triggers a rebuild.
+        """
+        cfg = self.config
+        params = (cfg.lam, cfg.delta, cfg.epsilon, cfg.adjust_biases, cfg.top_m_items)
+        if self.kernel is None or params != getattr(self, "_kernel_params", None):
+            self.build_online_kernel()
+        assert self.kernel is not None
+        return self.kernel
 
     # ------------------------------------------------------------------
     # Introspection
@@ -455,6 +469,8 @@ class CFSF(Recommender):
             "cluster_sizes": self.clusters.sizes().tolist(),
             "smoothed_fraction": smoothed.smoothed_fraction(),
             "cache_size": self._cache.maxsize,
+            "neighbor_cache_bytes": gis.cache.memory_bytes() if gis.cache is not None else 0,
+            "kernel_bytes": self.kernel.memory_bytes() if self.kernel is not None else 0,
         }
 
     def cache_stats(self) -> dict[str, float]:

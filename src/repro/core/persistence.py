@@ -44,7 +44,7 @@ import numpy as np
 
 from repro.core.clustering import UserClusters
 from repro.core.config import CFSFConfig
-from repro.core.gis import GlobalItemSimilarity
+from repro.core.gis import GlobalItemSimilarity, NeighborCache
 from repro.core.icluster import IClusterIndex
 from repro.core.model import CFSF
 from repro.core.smoothing import SmoothedRatings
@@ -54,8 +54,12 @@ from repro.utils.cache import LRUCache
 
 __all__ = ["save_model", "load_model"]
 
-#: Schema version written into every snapshot.
-FORMAT_VERSION = 1
+#: Schema version written into every snapshot.  Version 2 added the
+#: precomputed top-M neighbour cache (``nbr_*`` arrays); version-1
+#: snapshots are still accepted — the cache is rebuilt from the GIS.
+FORMAT_VERSION = 2
+
+_SUPPORTED_VERSIONS = (1, 2)
 
 _ARRAY_FIELDS = (
     "train_values",
@@ -73,6 +77,18 @@ _ARRAY_FIELDS = (
     "icluster_affinity",
     "icluster_ranking",
 )
+
+#: Arrays added in format version 2 (the serialised neighbour cache).
+_V2_ARRAY_FIELDS = (
+    "nbr_indices",
+    "nbr_sims",
+    "nbr_counts",
+)
+
+
+def _array_fields(version: int) -> tuple[str, ...]:
+    """The full array schema for a given format version."""
+    return _ARRAY_FIELDS + _V2_ARRAY_FIELDS if version >= 2 else _ARRAY_FIELDS
 
 
 def _content_digest(meta_json: str, arrays: dict[str, np.ndarray]) -> str:
@@ -109,6 +125,9 @@ def save_model(model: CFSF, path: str) -> None:
     if train is None or model.gis is None or model.smoothed is None:
         raise ValueError("cannot save an unfitted CFSF model")
     assert model.clusters is not None and model.icluster is not None
+    # Ship the precomputed neighbour cache so the serving side starts
+    # hot instead of re-deriving it from the O(Q²) similarity matrix.
+    cache = model.gis.attach_cache(model.config.top_m_items)
 
     meta = {
         "format_version": FORMAT_VERSION,
@@ -118,6 +137,7 @@ def save_model(model: CFSF, path: str) -> None:
         "gis_centering": model.gis.centering,
         "kmeans_n_iter": model.clusters.n_iter,
         "kmeans_converged": model.clusters.converged,
+        "nbr_cache_m": cache.m,
     }
     arrays = {
         "train_values": train.values,
@@ -134,6 +154,9 @@ def save_model(model: CFSF, path: str) -> None:
         "smoothed_user_means": model.smoothed.user_means,
         "icluster_affinity": model.icluster.affinity,
         "icluster_ranking": model.icluster.ranking,
+        "nbr_indices": cache.indices,
+        "nbr_sims": cache.sims32,
+        "nbr_counts": cache.counts,
     }
     meta_json = json.dumps(meta)
     checksum = _content_digest(meta_json, arrays)
@@ -192,17 +215,17 @@ def load_model(path: str) -> CFSF:
     except json.JSONDecodeError as exc:
         raise SnapshotCorruptError(path, f"meta is not valid JSON ({exc})") from exc
 
-    if meta.get("format_version") != FORMAT_VERSION:
-        raise SnapshotVersionError(
-            f"unsupported snapshot version {meta.get('format_version')!r}"
-        )
-    missing = [f for f in _ARRAY_FIELDS if f not in data]
+    version = meta.get("format_version")
+    if version not in _SUPPORTED_VERSIONS:
+        raise SnapshotVersionError(f"unsupported snapshot version {version!r}")
+    fields = _array_fields(int(version))
+    missing = [f for f in fields if f not in data]
     if missing:
         raise SnapshotCorruptError(path, f"snapshot is missing arrays: {missing}")
 
     if "checksum" in data:
         stored = str(data["checksum"])
-        actual = _content_digest(str(data["meta"]), {f: data[f] for f in _ARRAY_FIELDS})
+        actual = _content_digest(str(data["meta"]), {f: data[f] for f in fields})
         if stored != actual:
             raise SnapshotCorruptError(
                 path,
@@ -222,6 +245,15 @@ def load_model(path: str) -> CFSF:
         threshold=float(meta["gis_threshold"]),
         centering=meta["gis_centering"],
     )
+    if int(version) >= 2:
+        model.gis.cache = NeighborCache(
+            indices=data["nbr_indices"].astype(np.int32),
+            sims32=data["nbr_sims"].astype(np.float32),
+            counts=data["nbr_counts"].astype(np.int32),
+            m=int(meta["nbr_cache_m"]),
+        )
+    # v1 snapshots carry no cache; build_online_kernel below rebuilds it
+    # from the GIS (identical values, just a slower load).
     model.clusters = UserClusters(
         labels=data["cluster_labels"].astype(np.intp),
         centroids=data["cluster_centroids"],
@@ -249,4 +281,7 @@ def load_model(path: str) -> CFSF:
     model._item_means = train.item_means()
     model._global_mean = train.global_mean()
     model._cache = LRUCache(maxsize=config.cache_size)
+    # Restore the online hot path (fusion kernel + affinity factors) so
+    # the first request after a (re)load serves at steady-state speed.
+    model.build_online_kernel()
     return model

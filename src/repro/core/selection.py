@@ -62,6 +62,9 @@ def weighted_user_similarity(
     candidates: np.ndarray,
     smoothed: SmoothedRatings,
     epsilon: float,
+    *,
+    weight_matrix: np.ndarray | None = None,
+    deviation_matrix: np.ndarray | None = None,
 ) -> np.ndarray:
     """Eq. 10 between one active profile and a block of candidates.
 
@@ -77,6 +80,12 @@ def weighted_user_similarity(
         The offline smoothing output (dense values + provenance).
     epsilon:
         Eq. 11's ε — weight of original ratings (smoothed get 1−ε).
+    weight_matrix, deviation_matrix:
+        Optional precomputed ``(P, Q)`` Eq. 11 weights and mean-centred
+        ratings (e.g. the :class:`repro.core.fusion.FusionKernel`'s
+        globals).  When given, scoring is a pure gather — the per-call
+        ``np.where``/subtraction over the candidate block disappears.
+        Values must match ``smoothed`` + ``epsilon`` (not re-checked).
 
     Returns
     -------
@@ -86,16 +95,22 @@ def weighted_user_similarity(
     check_fraction(epsilon, "epsilon")
     if active_items.size == 0 or candidates.size == 0:
         return np.zeros(candidates.shape, dtype=np.float64)
-    vals = smoothed.values[np.ix_(candidates, active_items)]          # (n, f)
-    observed = smoothed.observed_mask[np.ix_(candidates, active_items)]
-    w = np.where(observed, epsilon, 1.0 - epsilon)
-    dev = vals - smoothed.user_means[candidates][:, None]
-    num = (w * dev) @ active_dev
-    den1 = ((w * w) * (dev * dev)).sum(axis=1)
+    ix = np.ix_(candidates, active_items)
+    if weight_matrix is not None:
+        w = weight_matrix[ix]
+    else:
+        w = np.where(smoothed.observed_mask[ix], epsilon, 1.0 - epsilon)
+    if deviation_matrix is not None:
+        dev = deviation_matrix[ix]
+    else:
+        dev = smoothed.values[ix] - smoothed.user_means[candidates][:, None]
+    wd = w * dev
+    num = wd @ active_dev
+    den1 = np.einsum("nf,nf->n", wd, wd)    # Σ w²·dev², sharing the w·dev product
     den2 = float(active_dev @ active_dev)
     denom = np.sqrt(den1 * den2)
-    with np.errstate(invalid="ignore", divide="ignore"):
-        sim = np.where(denom > 0.0, num / np.where(denom > 0.0, denom, 1.0), 0.0)
+    ok = denom > 0.0
+    sim = np.where(ok, num / np.where(ok, denom, 1.0), 0.0)
     np.clip(sim, -1.0, 1.0, out=sim)
     return sim
 
@@ -109,6 +124,8 @@ def select_top_k_users(
     k: int,
     epsilon: float,
     min_sim: float = 0.0,
+    weight_matrix: np.ndarray | None = None,
+    deviation_matrix: np.ndarray | None = None,
 ) -> TopKUsers:
     """Pick the top-K like-minded users from a candidate set.
 
@@ -121,7 +138,15 @@ def select_top_k_users(
     paper's expectation that a request always gets an answer.
     """
     check_positive_int(k, "k")
-    sims = weighted_user_similarity(active_items, active_dev, candidates, smoothed, epsilon)
+    sims = weighted_user_similarity(
+        active_items,
+        active_dev,
+        candidates,
+        smoothed,
+        epsilon,
+        weight_matrix=weight_matrix,
+        deviation_matrix=deviation_matrix,
+    )
     order = np.argsort(-sims, kind="stable")
     ranked = candidates[order]
     ranked_sims = sims[order]

@@ -185,7 +185,9 @@ class ParallelPredictor:
             raise ValueError(f"max_pool_retries must be >= 0, got {max_pool_retries}")
         self.model = model
         self.n_workers = (
-            recommended_workers() if n_workers is None else check_positive_int(n_workers, "n_workers")
+            recommended_workers()
+            if n_workers is None
+            else check_positive_int(n_workers, "n_workers")
         )
         self.start_method = start_method
         self.max_pool_retries = int(max_pool_retries)
@@ -210,6 +212,12 @@ class ParallelPredictor:
         if self._pool is not None and self._pool_given is given:
             return self._pool
         self.close()
+        # Build the online kernel (neighbour cache + fusion globals)
+        # *before* forking so every worker inherits the warm structures
+        # copy-on-write instead of each rebuilding them on first request.
+        warm = getattr(self.model, "warm_online", None)
+        if callable(warm):
+            warm()
         ctx = mp.get_context(self.start_method)
         self._pool = ProcessPoolExecutor(
             max_workers=self.n_workers,

@@ -50,6 +50,7 @@ from repro.serving.errors import (
     ModelUnavailableError,
     SnapshotError,
 )
+from repro.utils.cache import LRUCache
 
 __all__ = ["PredictionService", "ServingResult", "StageFailure"]
 
@@ -140,6 +141,13 @@ class PredictionService:
     reload_retries / reload_backoff:
         Bounded retry policy for snapshot loads (backoff doubles per
         attempt).
+    request_cache_size:
+        Capacity of the LRU request cache.  Primary-stage predictions
+        are memoised per ``(given, user, item, model_version)``; the
+        version in the key plus an explicit clear on model install
+        means a snapshot reload can never serve stale values.  Only
+        stage-0 results are cached (fallback answers reflect transient
+        conditions).  ``0`` disables caching.
     clock / sleep:
         Injectable time sources (see :class:`~repro.serving.faults.
         ManualClock`).
@@ -178,6 +186,7 @@ class PredictionService:
         breaker_seed: int = 0,
         reload_retries: int = 3,
         reload_backoff: float = 0.05,
+        request_cache_size: int = 8192,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
         metrics=None,
@@ -199,6 +208,13 @@ class PredictionService:
         self._breaker_seed = breaker_seed
         self._breakers: dict[str, CircuitBreaker] = {}
         self._sanitize_memo: tuple[int, RatingMatrix, np.ndarray] | None = None
+        self._request_cache: LRUCache | None = (
+            LRUCache(maxsize=request_cache_size) if request_cache_size > 0 else None
+        )
+        # Per-call metric handles, resolved once: registry lookups are
+        # dict ops, but they sit on the per-batch hot path.
+        self._m_requests = self.metrics.counter("serving.requests")
+        self._m_latency = self.metrics.histogram("serving.request.latency")
 
         # Cumulative operational counters.
         self.requests_total = 0
@@ -249,6 +265,10 @@ class PredictionService:
                 )
         self.model_version += 1
         self._sanitize_memo = None
+        # The version is part of every cache key, so old entries can
+        # never be *served* after a reload; clearing frees them eagerly.
+        if self._request_cache is not None:
+            self._request_cache.clear()
 
     def _build_stages(self, model) -> list[_Stage]:
         lo, hi = self._scale
@@ -443,38 +463,102 @@ class PredictionService:
         errors: list[StageFailure] = []
 
         # --- validation -------------------------------------------------
-        invalid = (
-            (users < 0)
-            | (users >= given.n_users)
-            | (items < 0)
-            | (items >= self._n_items)
-        )
+        # Four scalar reductions cover the overwhelmingly common
+        # all-valid batch; the per-element mask arithmetic only runs
+        # when some request is actually out of range.
+        if n and (
+            int(users.min()) >= 0
+            and int(users.max()) < given.n_users
+            and int(items.min()) >= 0
+            and int(items.max()) < self._n_items
+        ):
+            invalid = np.zeros(n, dtype=bool)
+            n_invalid = 0
+        else:
+            invalid = (
+                (users < 0)
+                | (users >= given.n_users)
+                | (items < 0)
+                | (items >= self._n_items)
+            )
+            n_invalid = int(invalid.sum())
         if given.n_items != self._n_items:
             if self.strict:
                 raise InvalidRequestError(
                     f"given has {given.n_items} items but model serves {self._n_items}"
                 )
             invalid[:] = True
-        if self.strict and invalid.any():
+            n_invalid = n
+        if self.strict and n_invalid:
             offender = int(np.nonzero(invalid)[0][0])
             raise InvalidRequestError(
                 f"request {offender} (user={users[offender]}, item={items[offender]}) "
                 "is out of range"
             )
-        self.invalid_total += int(invalid.sum())
+        self.invalid_total += n_invalid
 
         sanitized_req = np.zeros(n, dtype=bool)
         deadline_hit = False
-        valid_idx = np.nonzero(~invalid)[0]
+        cache_hits = cache_misses = 0
+        valid_idx = (
+            np.arange(n, dtype=np.intp) if not n_invalid else np.nonzero(~invalid)[0]
+        )
         if valid_idx.size:
             cleaned, poisoned_users = self._sanitize_given(given)
-            sanitized_req[valid_idx] = poisoned_users[users[valid_idx]]
+            if poisoned_users.any():
+                sanitized_req[valid_idx] = poisoned_users[users[valid_idx]]
 
-            v_users = users[valid_idx]
-            order = np.argsort(v_users, kind="stable")
-            bounds = np.nonzero(np.diff(v_users[order]))[0] + 1
+            # --- request cache lookup ---------------------------------
+            # Keys are built from plain-int lists (one tolist() pass)
+            # rather than per-element np scalar casts; on the hot path
+            # the difference is measurable at batch sizes this small.
+            cache = self._request_cache
+            gkey = ver = 0
+            u_list = i_list = None
+            if cache is not None:
+                gkey, ver = hash(cleaned), self.model_version
+                u_list = users.tolist()
+                i_list = items.tolist()
+                remaining = []
+                for ridx in valid_idx.tolist():
+                    val = cache.get((gkey, u_list[ridx], i_list[ridx], ver))
+                    if val is None:
+                        remaining.append(ridx)
+                    else:
+                        predictions[ridx] = val
+                        levels[ridx] = 0
+                work_idx = np.asarray(remaining, dtype=np.intp)
+                cache_hits = valid_idx.size - work_idx.size
+                cache_misses = work_idx.size
+            else:
+                work_idx = valid_idx
+
+            # Without a deadline, first try the primary stage on the
+            # whole batch at once — the model's batched kernel fuses
+            # every request in one pass.  If the primary fails (or its
+            # breaker is open), or a deadline needs mid-batch deferral,
+            # fall back to per-user blocks so faults and budget cuts
+            # stay isolated per user.
+            if deadline is None and work_idx.size:
+                fast = self._predict_primary(
+                    cleaned, users[work_idx], items[work_idx], errors
+                )
+                if fast is not None:
+                    predictions[work_idx] = fast
+                    levels[work_idx] = 0
+                    if cache is not None:
+                        for ridx, val in zip(work_idx.tolist(), fast.tolist()):
+                            cache.put((gkey, u_list[ridx], i_list[ridx], ver), val)
+                    work_idx = np.empty(0, dtype=np.intp)
+            if work_idx.size:
+                w_users = users[work_idx]
+                order = np.argsort(w_users, kind="stable")
+                bounds = np.nonzero(np.diff(w_users[order]))[0] + 1
+                blocks = np.split(work_idx[order], bounds)
+            else:
+                blocks = []
             cheap = self._cheap_level()
-            for block in np.split(valid_idx[order], bounds):
+            for block in blocks:
                 if (
                     deadline is not None
                     and self._clock() - t0 >= deadline
@@ -486,25 +570,34 @@ class PredictionService:
                     levels[block] = cheap
                     deferred[block] = True
                     continue
-                predictions[block], levels[block] = self._predict_block(
+                predictions[block], level = self._predict_block(
                     cleaned, users[block], items[block], errors
                 )
+                levels[block] = level
+                if cache is not None and level == 0:
+                    for ridx in block.tolist():
+                        cache.put(
+                            (gkey, u_list[ridx], i_list[ridx], ver),
+                            float(predictions[ridx]),
+                        )
 
         elapsed = self._clock() - t0
-        n_invalid = int(invalid.sum())
-        n_deferred = int(deferred.sum())
+        n_deferred = int(deferred.sum()) if deadline_hit else 0
         n_sanitized = int(sanitized_req.sum())
-        n_degraded = int(
-            ((levels > 0) | invalid | sanitized_req | deferred).sum()
-        )
+        if n_invalid or n_deferred or n_sanitized:
+            n_degraded = int(
+                ((levels > 0) | invalid | sanitized_req | deferred).sum()
+            )
+        else:
+            n_degraded = int(np.count_nonzero(levels))
         self.requests_total += n
         self.deadline_deferred_total += n_deferred
         self.sanitized_total += n_sanitized
         self.degraded_total += n_degraded
         reg = self.metrics
         if reg.enabled:
-            reg.counter("serving.requests").inc(n)
-            reg.histogram("serving.request.latency").observe(elapsed)
+            self._m_requests.inc(n)
+            self._m_latency.observe(elapsed)
             counts = np.bincount(levels, minlength=len(stage_names))
             for name, count in zip(stage_names, counts):
                 if count:
@@ -517,6 +610,10 @@ class PredictionService:
                 reg.counter("serving.deadline.deferred").inc(n_deferred)
             if n_degraded:
                 reg.counter("serving.degraded").inc(n_degraded)
+            if cache_hits:
+                reg.counter("serving.cache.hits").inc(cache_hits)
+            if cache_misses:
+                reg.counter("serving.cache.misses").inc(cache_misses)
         return ServingResult(
             predictions=np.clip(predictions, *self._scale),
             fallback_level=levels,
@@ -535,6 +632,41 @@ class PredictionService:
             if stage.name == "user_mean":
                 return idx
         return len(self._stages) - 1  # pragma: no cover - chain always has it
+
+    def _predict_primary(
+        self,
+        given: RatingMatrix,
+        users: np.ndarray,
+        items: np.ndarray,
+        errors: list[StageFailure],
+    ) -> np.ndarray | None:
+        """One whole-batch attempt at stage 0; ``None`` means fall back.
+
+        The caller then retries through the per-user block walk, so a
+        primary fault degrades to exactly the old fault-isolation
+        granularity instead of failing the batch.
+        """
+        stage = self._stages[0]
+        breaker = self._breakers[stage.name]
+        if not breaker.allow():
+            return None
+        try:
+            out = np.asarray(stage.fn(given, users, items), dtype=np.float64)
+            if out.shape != users.shape or not np.isfinite(out).all():
+                raise InvalidRequestError(
+                    f"stage {stage.name!r} produced non-finite or misshapen output"
+                )
+        except Exception as exc:  # noqa: BLE001 - the chain absorbs stage faults
+            breaker.record_failure()
+            if self.metrics.enabled:
+                self.metrics.counter("serving.stage.failures", stage=stage.name).inc()
+            if len(errors) < _MAX_ERRORS_PER_CALL:
+                errors.append(
+                    StageFailure(stage.name, f"{type(exc).__name__}: {exc}", users.size)
+                )
+            return None
+        breaker.record_success()
+        return out
 
     def _predict_block(
         self,
@@ -606,6 +738,15 @@ class PredictionService:
             ),
             "metrics_enabled": reg.enabled,
         }
+        if self._request_cache is not None:
+            rc = self._request_cache
+            health["request_cache"] = {
+                "entries": len(rc),
+                "maxsize": rc.maxsize,
+                "hits": rc.hits,
+                "misses": rc.misses,
+                "hit_rate": rc.hit_rate,
+            }
         if reg.enabled:
             health["requests_total"] = int(reg.counter("serving.requests").value)
             health["invalid_total"] = int(reg.counter("serving.invalid").value)
