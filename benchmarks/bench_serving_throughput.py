@@ -1,0 +1,263 @@
+"""Seed of the serving-throughput trajectory (``BENCH_serving_throughput.json``).
+
+PR 3 made one prediction fast; this benchmark measures how many the
+service sustains *per second* when traffic is concurrent — the ROADMAP
+north star ("heavy traffic from millions of users") is throughput-
+bound, not latency-bound.
+
+Two configurations drive the same request stream from ``THREADS``
+client threads:
+
+1. **Serialized baseline** — the pre-concurrency status quo: each
+   request is a single ``PredictionService.predict`` call under one
+   global mutex, because the fusion kernel's scratch buffers are
+   non-re-entrant and a shared kernel admits exactly one call at a
+   time.
+2. **Micro-batched** — the :class:`~repro.serving.MicroBatcher`
+   coalesces the in-flight requests into user-sorted batches
+   dispatched to ``CFSF.predict_many`` over a
+   :class:`~repro.serving.KernelPool`, so per-call overhead is
+   amortised across the batch and same-user requests share one
+   prepared state.
+
+Clients submit in windows of ``PIPELINE`` in-flight requests each (a
+closed loop with pipelining — the live-traffic shape where a frontend
+fans out many requests per page).  Both services run with the
+request-level LRU cache disabled so every request exercises the full
+fusion path; the batched run's per-request latency (submit → result)
+is recorded client-side for the p50/p95/p99 under load.
+
+Batched predictions are asserted **bit-for-bit equal** to the serial
+``predict_many`` reference before the payload is written — throughput
+that changes the answers is a bug, not a speedup.
+
+``benchmarks/check_regression.py --bench throughput`` gates CI on the
+``rps`` field of this file (fail on >25% drop, ``BENCH_GATE_*``
+overrides honored).  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serving_throughput.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import CFSF
+from repro.data import default_dataset, make_split
+from repro.obs import MetricsRegistry
+from repro.serving import MicroBatcher, PredictionService
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_serving_throughput.json"
+
+#: Bench geometry.  ``N_ACTIVE`` bounds the distinct active users in
+#: the stream so coalesced batches contain same-user runs (the shape
+#: a router-grouped production stream has); requests per thread keeps
+#: the timed window long enough that thread start-up noise washes out.
+THREADS = 8
+PIPELINE = 32            # in-flight requests per client thread
+N_ACTIVE = 12            # distinct active users in the stream
+REQUESTS_PER_THREAD = 250
+TRAIN_SIZE = 200
+GIVEN_N = 10
+SEED = 0
+
+#: Reduced geometry for the CI smoke/regression run.
+SMOKE_TRAIN_SIZE = 120
+SMOKE_REQUESTS_PER_THREAD = 120
+
+#: Micro-batcher knobs used by the bench (and recorded in the payload).
+MAX_BATCH_SIZE = 128
+MAX_WAIT_US = 1000.0
+WORKERS = 1
+
+
+def _request_stream(split, *, requests_per_thread: int) -> tuple[np.ndarray, np.ndarray]:
+    """A shuffled (users, items) stream over ``N_ACTIVE`` test users."""
+    users, items, _ = split.targets_arrays()
+    active = np.unique(users)[:N_ACTIVE]
+    keep = np.isin(users, active)
+    users, items = users[keep], items[keep]
+    rng = np.random.default_rng(SEED)
+    total = THREADS * requests_per_thread
+    pick = rng.integers(0, users.size, size=total)
+    return users[pick], items[pick]
+
+
+def _run_serialized(service, given, users, items) -> float:
+    """Baseline: T threads, one mutex, single-request calls.  Returns RPS."""
+    mutex = threading.Lock()
+    barrier = threading.Barrier(THREADS + 1)
+    per_thread = users.size // THREADS
+
+    def client(t: int) -> None:
+        lo = t * per_thread
+        barrier.wait()
+        for idx in range(lo, lo + per_thread):
+            with mutex:
+                service.predict(given, int(users[idx]), int(items[idx]))
+        barrier.wait()
+
+    threads = [threading.Thread(target=client, args=(t,)) for t in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    barrier.wait()
+    elapsed = time.perf_counter() - t0
+    for thread in threads:
+        thread.join()
+    return (per_thread * THREADS) / elapsed
+
+
+def _run_batched(
+    batcher, given, users, items
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """Micro-batched: T pipelining clients.  Returns (RPS, values, latencies)."""
+    barrier = threading.Barrier(THREADS + 1)
+    per_thread = users.size // THREADS
+    values = np.empty(per_thread * THREADS, dtype=np.float64)
+    latencies = np.empty(per_thread * THREADS, dtype=np.float64)
+
+    def client(t: int) -> None:
+        lo = t * per_thread
+        barrier.wait()
+        for start in range(lo, lo + per_thread, PIPELINE):
+            stop = min(start + PIPELINE, lo + per_thread)
+            sent = time.perf_counter()
+            futures = [
+                batcher.submit(given, int(users[idx]), int(items[idx]))
+                for idx in range(start, stop)
+            ]
+            for offset, future in enumerate(futures):
+                values[start + offset] = future.result(timeout=30).value
+                latencies[start + offset] = time.perf_counter() - sent
+        barrier.wait()
+
+    threads = [threading.Thread(target=client, args=(t,)) for t in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    barrier.wait()
+    elapsed = time.perf_counter() - t0
+    for thread in threads:
+        thread.join()
+    return (per_thread * THREADS) / elapsed, values, latencies
+
+
+def run_bench(
+    output_path: Path | None = OUTPUT_PATH,
+    *,
+    smoke: bool = False,
+) -> dict:
+    """Run both configurations; write and return the payload."""
+    train_size = SMOKE_TRAIN_SIZE if smoke else TRAIN_SIZE
+    per_thread = SMOKE_REQUESTS_PER_THREAD if smoke else REQUESTS_PER_THREAD
+    ratings = default_dataset(seed=SEED)
+    split = make_split(ratings, n_train_users=train_size, given_n=GIVEN_N, seed=SEED)
+    model = CFSF().fit(split.train)
+    users, items = _request_stream(split, requests_per_thread=per_thread)
+
+    # Request cache off in both configurations: the bench measures the
+    # fusion path under load, not exact-match memoisation.
+    service = PredictionService(model, request_cache_size=0)
+
+    # Warm the per-user prepared state (both configurations reuse it —
+    # the steady state a long-running server converges to).
+    service.predict_many(split.given, users, items)
+    reference = service.predict_many(split.given, users, items).predictions
+
+    rps_serialized = _run_serialized(service, split.given, users, items)
+
+    registry = MetricsRegistry()
+    batcher = MicroBatcher(
+        service,
+        max_batch_size=MAX_BATCH_SIZE,
+        max_wait_us=MAX_WAIT_US,
+        workers=WORKERS,
+        metrics=registry,
+    )
+    try:
+        rps_batched, values, latencies = _run_batched(
+            batcher, split.given, users, items
+        )
+        stats = batcher.stats()
+    finally:
+        batcher.close()
+
+    agreement = float(np.abs(values - reference).max())
+    if agreement > 1e-9:
+        raise AssertionError(
+            f"batched serving diverged from the serial path by {agreement:g}"
+        )
+
+    payload = {
+        "benchmark": "serving_throughput",
+        "seed": SEED,
+        "smoke": bool(smoke),
+        "n_train_users": train_size,
+        "given_n": GIVEN_N,
+        "threads": THREADS,
+        "pipeline": PIPELINE,
+        "n_active_users": N_ACTIVE,
+        "requests": int(users.size),
+        "max_batch_size": MAX_BATCH_SIZE,
+        "max_wait_us": MAX_WAIT_US,
+        "dispatch_workers": WORKERS,
+        "rps": rps_batched,
+        "rps_serialized": rps_serialized,
+        "speedup": rps_batched / rps_serialized,
+        "mean_batch_size": stats["mean_batch_size"],
+        "agreement_max_abs_diff": agreement,
+        "latency_p50": float(np.percentile(latencies, 50)),
+        "latency_p95": float(np.percentile(latencies, 95)),
+        "latency_p99": float(np.percentile(latencies, 99)),
+    }
+    if output_path is not None:
+        output_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+@pytest.mark.perf
+def test_bench_serving_throughput():
+    """Regenerate the artefact and check the concurrency win is real."""
+    payload = run_bench()
+    assert payload["agreement_max_abs_diff"] <= 1e-9
+    assert payload["mean_batch_size"] > 1.5, "micro-batcher never coalesced"
+    assert payload["speedup"] >= 3.0, (
+        f"batched RPS only {payload['speedup']:.2f}x the serialized baseline"
+    )
+    print(
+        f"\nserving throughput at {payload['threads']} threads: "
+        f"{payload['rps']:,.0f} RPS batched vs {payload['rps_serialized']:,.0f} "
+        f"serialized ({payload['speedup']:.1f}x), mean batch "
+        f"{payload['mean_batch_size']:.1f}, p95 {payload['latency_p95'] * 1e3:.2f}ms "
+        f"-> {OUTPUT_PATH.name}"
+    )
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced geometry for the CI regression gate",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=OUTPUT_PATH,
+        help="where to write the JSON payload (default: repo root artefact)",
+    )
+    cli = parser.parse_args()
+    result = run_bench(output_path=cli.output, smoke=cli.smoke)
+    print(json.dumps(result, indent=2, sort_keys=True))

@@ -1,25 +1,40 @@
-"""CI benchmark-regression gate for the serving-latency trajectory.
+"""CI benchmark-regression gate for the serving benchmarks.
 
-Compares a freshly measured serving-latency run against the committed
-``BENCH_serving_latency.json`` baseline and fails (exit 1) when the
-p95 regresses by more than the tolerance.  Used by the ``bench-gate``
-job in ``.github/workflows/ci.yml``; run locally with::
+Compares freshly measured serving runs against the committed baseline
+artefacts and fails (exit 1) when a gated metric regresses by more
+than the tolerance.  Two gates are registered:
+
+``latency``
+    ``BENCH_serving_latency.json`` — p95 seconds per prediction;
+    *lower is better*, so the gate fails when current p95 exceeds
+    ``baseline * (1 + tolerance)``.
+``throughput``
+    ``BENCH_serving_throughput.json`` — batched requests/second at 8
+    concurrent client threads; *higher is better*, so the gate fails
+    when current RPS drops below ``baseline * (1 - tolerance)``.
+
+Used by the ``bench-gate`` job in ``.github/workflows/ci.yml``; run
+locally with::
 
     PYTHONPATH=src python benchmarks/check_regression.py --smoke
+    PYTHONPATH=src python benchmarks/check_regression.py --bench throughput --smoke
 
 Knobs
 -----
+``--bench latency|throughput|all``
+    Which gate(s) to run (default ``all``).
 ``--tolerance`` / ``BENCH_GATE_TOLERANCE``
-    Allowed fractional p95 regression (default 0.25 = +25%).  CI
-    runners are noisy; the tolerance is a tripwire for gross
-    regressions, not a microbenchmark.
+    Allowed fractional regression (default 0.25 = ±25%).  CI runners
+    are noisy; the tolerance is a tripwire for gross regressions, not
+    a microbenchmark.
 ``BENCH_GATE_SKIP=1``
     Escape hatch: report and exit 0 regardless of the comparison.
     For emergencies (e.g. a deliberate latency/quality trade landing
     ahead of its new baseline) — the skip is printed loudly so it is
     visible in the CI log.
 ``--current``
-    Compare an existing result file instead of running the bench.
+    Compare an existing result file instead of running the bench
+    (single ``--bench`` only, since the file holds one payload).
 """
 
 from __future__ import annotations
@@ -28,43 +43,107 @@ import argparse
 import json
 import os
 import sys
+from dataclasses import dataclass
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_BASELINE = REPO_ROOT / "BENCH_serving_latency.json"
 DEFAULT_TOLERANCE = 0.25
 
 
-def check(baseline: dict, current: dict, tolerance: float) -> tuple[bool, str]:
+@dataclass(frozen=True)
+class Gate:
+    """One benchmark's gate: where its baseline lives and what to compare."""
+
+    name: str
+    baseline_path: Path
+    module: str  # benchmarks/<module>.py exposing run_bench(output_path, smoke)
+    metric: str  # payload key under comparison
+    higher_is_better: bool
+    unit_format: str  # format spec rendering the metric for humans
+
+
+GATES: dict[str, Gate] = {
+    "latency": Gate(
+        name="latency",
+        baseline_path=REPO_ROOT / "BENCH_serving_latency.json",
+        module="bench_serving_latency",
+        metric="p95",
+        higher_is_better=False,
+        unit_format="ms",
+    ),
+    "throughput": Gate(
+        name="throughput",
+        baseline_path=REPO_ROOT / "BENCH_serving_throughput.json",
+        module="bench_serving_throughput",
+        metric="rps",
+        higher_is_better=True,
+        unit_format="rps",
+    ),
+}
+
+
+def _fmt(gate: Gate, value: float) -> str:
+    if gate.unit_format == "ms":
+        return f"{value * 1e3:.3f}ms"
+    return f"{value:,.0f} RPS"
+
+
+def check(
+    baseline: dict, current: dict, tolerance: float, gate: Gate | None = None
+) -> tuple[bool, str]:
     """Pure comparison: ``(ok, human-readable verdict)``.
 
-    The gate is one-sided — only a p95 *increase* beyond
-    ``baseline_p95 * (1 + tolerance)`` fails.  Improvements always
-    pass (regenerating the baseline to ratchet the budget down is a
-    deliberate, reviewed act).
+    The gate is one-sided — only a regression beyond the tolerance
+    fails: a p95 *increase* past ``baseline * (1 + tolerance)`` for
+    lower-is-better metrics, an RPS *drop* below ``baseline * (1 -
+    tolerance)`` for higher-is-better ones.  Improvements always pass
+    (regenerating the baseline to ratchet the budget is a deliberate,
+    reviewed act).
     """
-    base_p95 = float(baseline["p95"])
-    curr_p95 = float(current["p95"])
-    if base_p95 <= 0.0:
-        return False, f"baseline p95 is non-positive ({base_p95!r}); regenerate the baseline"
-    limit = base_p95 * (1.0 + tolerance)
-    ratio = curr_p95 / base_p95
+    if gate is None:
+        gate = GATES["latency"]
+    base = float(baseline[gate.metric])
+    curr = float(current[gate.metric])
+    if base <= 0.0:
+        return False, (
+            f"baseline {gate.metric} is non-positive ({base!r}); regenerate the baseline"
+        )
+    ratio = curr / base
+    if gate.higher_is_better:
+        limit = base * (1.0 - tolerance)
+        failed = curr < limit
+    else:
+        limit = base * (1.0 + tolerance)
+        failed = curr > limit
     detail = (
-        f"p95 baseline={base_p95 * 1e3:.3f}ms current={curr_p95 * 1e3:.3f}ms "
-        f"({ratio - 1.0:+.0%} vs baseline, limit {limit * 1e3:.3f}ms)"
+        f"{gate.metric} baseline={_fmt(gate, base)} current={_fmt(gate, curr)} "
+        f"({ratio - 1.0:+.0%} vs baseline, limit {_fmt(gate, limit)})"
     )
-    if curr_p95 > limit:
+    if failed:
         return False, f"REGRESSION: {detail}"
     return True, f"OK: {detail}"
+
+
+def _run_gate(gate: Gate, args: argparse.Namespace) -> tuple[bool, str]:
+    if not gate.baseline_path.exists():
+        return True, f"no baseline at {gate.baseline_path.name}; nothing to compare"
+    baseline = json.loads(gate.baseline_path.read_text())
+    if args.current is not None:
+        current = json.loads(args.current.read_text())
+    else:
+        sys.path.insert(0, str(Path(__file__).resolve().parent))
+        module = __import__(gate.module)
+        current = module.run_bench(output_path=None, smoke=args.smoke)
+    return check(baseline, current, args.tolerance, gate)
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--baseline",
-        type=Path,
-        default=DEFAULT_BASELINE,
-        help="committed baseline JSON (default: repo artefact)",
+        "--bench",
+        choices=[*GATES, "all"],
+        default="all",
+        help="which gate(s) to run (default: all)",
     )
     parser.add_argument(
         "--current",
@@ -76,35 +155,29 @@ def main(argv: list[str] | None = None) -> int:
         "--tolerance",
         type=float,
         default=float(os.environ.get("BENCH_GATE_TOLERANCE", DEFAULT_TOLERANCE)),
-        help="allowed fractional p95 regression (default 0.25, env BENCH_GATE_TOLERANCE)",
+        help="allowed fractional regression (default 0.25, env BENCH_GATE_TOLERANCE)",
     )
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="run the bench in reduced smoke geometry (CI default)",
+        help="run the benches in reduced smoke geometry (CI default)",
     )
     args = parser.parse_args(argv)
 
-    if not args.baseline.exists():
-        print(f"bench gate: no baseline at {args.baseline}; nothing to compare", flush=True)
-        return 0
+    names = list(GATES) if args.bench == "all" else [args.bench]
+    if args.current is not None and len(names) > 1:
+        parser.error("--current holds one payload; pick a single --bench")
 
-    baseline = json.loads(args.baseline.read_text())
-    if args.current is not None:
-        current = json.loads(args.current.read_text())
-    else:
-        sys.path.insert(0, str(Path(__file__).resolve().parent))
-        from bench_serving_latency import run_bench
-
-        current = run_bench(output_path=None, smoke=args.smoke)
-
-    ok, verdict = check(baseline, current, args.tolerance)
-    print(f"bench gate: {verdict}", flush=True)
+    all_ok = True
+    for name in names:
+        ok, verdict = _run_gate(GATES[name], args)
+        print(f"bench gate [{name}]: {verdict}", flush=True)
+        all_ok = all_ok and ok
 
     if os.environ.get("BENCH_GATE_SKIP", "") not in ("", "0"):
         print("bench gate: BENCH_GATE_SKIP set — result ignored, exiting 0", flush=True)
         return 0
-    return 0 if ok else 1
+    return 0 if all_ok else 1
 
 
 if __name__ == "__main__":

@@ -304,6 +304,43 @@ class FusionKernel:
         self._prep_slab = np.empty(0, dtype=np.float64)
         self._prep_slab_pos = 0
 
+    def clone(self) -> "FusionKernel":
+        """A worker copy for concurrent serving: shared inputs, private scratch.
+
+        The derived global matrices (Eq. 11 weights, mean-centred
+        ratings, SUIR' deviations) and the neighbour cache are shared
+        by reference — they are read-only after construction, so N
+        clones cost N × scratch, not N × O(P·Q).  Everything that
+        makes :meth:`fuse_many` non-re-entrant (the pair/gather
+        scratch buffers, the row-gather staging area, the prepared-user
+        slab) starts fresh, so each clone may run on its own thread.
+        Clones produce bit-identical results to the original: every
+        computation reads the same shared arrays, and scratch contents
+        never leak into outputs.
+        """
+        twin = object.__new__(FusionKernel)
+        # Immutable / read-only shared state.
+        twin.w_sir, twin.w_sur, twin.w_suir = self.w_sir, self.w_sur, self.w_suir
+        twin.epsilon = self.epsilon
+        twin.adjust_biases = self.adjust_biases
+        twin.chunk_elems = self.chunk_elems
+        twin.cache = self.cache
+        twin.item_means = self.item_means
+        twin.global_mean = self.global_mean
+        twin._imean_dev = self._imean_dev
+        twin._weight_matrix = self._weight_matrix
+        twin._dev_matrix = self._dev_matrix
+        twin._values = self._values
+        twin._suir_matrix = self._suir_matrix
+        # Private mutable scratch.
+        twin._pair_scratch = np.empty(0, dtype=np.float64)
+        twin._wg_scratch = np.empty(0, dtype=np.float64)
+        twin._dg_scratch = np.empty(0, dtype=np.float64)
+        twin._row_scratch = np.empty(0, dtype=np.float64)
+        twin._prep_slab = np.empty(0, dtype=np.float64)
+        twin._prep_slab_pos = 0
+        return twin
+
     @property
     def weight_matrix(self) -> np.ndarray:
         """``(P, Q)`` global Eq. 11 weights (shared with user selection)."""

@@ -40,8 +40,10 @@ paper's "caching intermediate results" optimisation.
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Any, Iterator, Sequence
 
 import numpy as np
 
@@ -115,6 +117,24 @@ class CFSF(Recommender):
         self._kernel_params: tuple | None = None
         self._affinity_prep: PreparedAffinity | None = None
         self._cache = LRUCache(maxsize=cfg.cache_size)
+        # Per-thread kernel override (see borrowed_kernel) plus a lock
+        # so concurrent _require_kernel calls cannot race a rebuild.
+        self._tl_kernel = threading.local()
+        self._kernel_build_lock = threading.Lock()
+
+    # Thread-locals and locks cannot cross a pickle boundary (the
+    # spawn-mode parallel executor ships the fitted model to workers);
+    # each process re-creates its own.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_tl_kernel", None)
+        state.pop("_kernel_build_lock", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._tl_kernel = threading.local()
+        self._kernel_build_lock = threading.Lock()
 
     @property
     def name(self) -> str:
@@ -291,7 +311,7 @@ class CFSF(Recommender):
         )
         if candidates.size == 0:
             candidates = np.arange(train.n_users, dtype=np.intp)
-        kernel = self.kernel
+        kernel = getattr(self._tl_kernel, "kernel", None) or self.kernel
         top_k = select_top_k_users(
             items_idx,
             active_dev,
@@ -436,18 +456,45 @@ class CFSF(Recommender):
         """
         self._require_kernel()
 
+    @contextmanager
+    def borrowed_kernel(self, kernel: FusionKernel) -> Iterator[FusionKernel]:
+        """Route this thread's predictions through *kernel*.
+
+        The serving layer's :class:`~repro.serving.pool.KernelPool`
+        checks out per-worker :meth:`FusionKernel.clone` copies and
+        pins one here for the duration of a dispatch, so concurrent
+        ``predict_many`` calls never share the non-re-entrant scratch
+        buffers.  The override is **per thread** (a ``threading.local``),
+        so borrowing on one thread does not disturb others, and it
+        nests (the previous override is restored on exit).
+        """
+        prev = getattr(self._tl_kernel, "kernel", None)
+        self._tl_kernel.kernel = kernel
+        try:
+            yield kernel
+        finally:
+            self._tl_kernel.kernel = prev
+
     def _require_kernel(self) -> FusionKernel:
         """The batched fusion kernel, (re)built when absent or stale.
 
-        Staleness covers direct ``model.config`` replacement after fit
-        (the ablation suites flip ``lam``/``delta``/``adjust_biases`` on
-        a fitted model): the kernel bakes those in, so a changed config
-        triggers a rebuild.
+        A thread-local :meth:`borrowed_kernel` override wins outright —
+        the pool that lent it owns its lifecycle.  Staleness covers
+        direct ``model.config`` replacement after fit (the ablation
+        suites flip ``lam``/``delta``/``adjust_biases`` on a fitted
+        model): the kernel bakes those in, so a changed config
+        triggers a rebuild (serialised by a lock so concurrent callers
+        cannot race the rebuild).
         """
+        borrowed = getattr(self._tl_kernel, "kernel", None)
+        if borrowed is not None:
+            return borrowed
         cfg = self.config
         params = (cfg.lam, cfg.delta, cfg.epsilon, cfg.adjust_biases, cfg.top_m_items)
         if self.kernel is None or params != getattr(self, "_kernel_params", None):
-            self.build_online_kernel()
+            with self._kernel_build_lock:
+                if self.kernel is None or params != getattr(self, "_kernel_params", None):
+                    self.build_online_kernel()
         assert self.kernel is not None
         return self.kernel
 

@@ -56,8 +56,11 @@ def gini_coefficient(counts: np.ndarray) -> float:
     sorted_counts = np.sort(counts)
     n = counts.size
     cum = np.cumsum(sorted_counts)
-    # Standard formula: G = 1 - 2 * sum((cum - x/2)) / (n * total)
-    return float(1.0 - 2.0 * (cum - sorted_counts / 2.0).sum() / (n * total))
+    # Standard formula: G = 1 - 2 * sum((cum - x/2)) / (n * total).
+    # Clamp to the mathematical range [0, 1): subnormal counts can
+    # underflow the x/2 term and push the raw value far outside it.
+    gini = 1.0 - 2.0 * (cum - sorted_counts / 2.0).sum() / (n * total)
+    return float(min(max(gini, 0.0), 1.0))
 
 
 def activity_histogram(

@@ -27,6 +27,7 @@ under test (see ``tests/test_serving_breaker.py``).
 from __future__ import annotations
 
 import enum
+import threading
 import time
 from typing import Callable
 
@@ -103,6 +104,12 @@ class CircuitBreaker:
         self._clock = clock
         self._rng = as_generator(rng)
         self._metrics = get_registry() if metrics is None else metrics
+        # One re-entrant mutex per breaker: allow/record calls arrive
+        # from every dispatch worker of the concurrent serving front,
+        # and a torn state transition (e.g. two threads both tripping)
+        # would double-count opens and corrupt the backoff streak.
+        # RLock because snapshot() reads via open_seconds()/retry_in().
+        self._mutex = threading.RLock()
 
         self.state = CircuitState.CLOSED
         self.consecutive_failures = 0
@@ -138,31 +145,37 @@ class CircuitBreaker:
 
     def open_seconds(self) -> float:
         """Cumulative seconds spent open, including any current stretch."""
-        total = self.open_seconds_total
-        if self.state is CircuitState.OPEN and self._opened_at is not None:
-            total += self._clock() - self._opened_at
-        return total
+        with self._mutex:
+            total = self.open_seconds_total
+            if self.state is CircuitState.OPEN and self._opened_at is not None:
+                total += self._clock() - self._opened_at
+            return total
 
     # ------------------------------------------------------------------
     def allow(self) -> bool:
         """May a call be attempted right now?
 
         Transitions ``open -> half_open`` as a side effect once the
-        backoff delay has elapsed.
+        backoff delay has elapsed.  Under concurrency exactly one
+        caller wins the half-open probe slot per backoff window (the
+        transition happens under the breaker mutex), though callers
+        already in flight when the breaker trips are not recalled.
         """
-        if self.state is CircuitState.OPEN:
-            if self._clock() >= self._retry_at:
-                self._set_state(CircuitState.HALF_OPEN)
-                return True
-            return False
-        return True
+        with self._mutex:
+            if self.state is CircuitState.OPEN:
+                if self._clock() >= self._retry_at:
+                    self._set_state(CircuitState.HALF_OPEN)
+                    return True
+                return False
+            return True
 
     def record_success(self) -> None:
         """A call through this breaker succeeded: close and reset."""
-        self.successes += 1
-        self.consecutive_failures = 0
-        self._open_streak = 0
-        self._set_state(CircuitState.CLOSED)
+        with self._mutex:
+            self.successes += 1
+            self.consecutive_failures = 0
+            self._open_streak = 0
+            self._set_state(CircuitState.CLOSED)
 
     def record_failure(self) -> None:
         """A call through this breaker failed.
@@ -171,19 +184,21 @@ class CircuitBreaker:
         delay); in the closed state the breaker trips once
         ``failure_threshold`` consecutive failures accumulate.
         """
-        self.failures += 1
-        self.consecutive_failures += 1
-        if (
-            self.state is CircuitState.HALF_OPEN
-            or self.consecutive_failures >= self.failure_threshold
-        ):
-            self._trip()
+        with self._mutex:
+            self.failures += 1
+            self.consecutive_failures += 1
+            if (
+                self.state is CircuitState.HALF_OPEN
+                or self.consecutive_failures >= self.failure_threshold
+            ):
+                self._trip()
 
     def retry_in(self) -> float:
         """Seconds until the next half-open probe (0 when not open)."""
-        if self.state is not CircuitState.OPEN:
-            return 0.0
-        return max(0.0, self._retry_at - self._clock())
+        with self._mutex:
+            if self.state is not CircuitState.OPEN:
+                return 0.0
+            return max(0.0, self._retry_at - self._clock())
 
     # ------------------------------------------------------------------
     def _trip(self) -> None:
@@ -198,17 +213,18 @@ class CircuitBreaker:
         self._open_streak += 1
 
     def snapshot(self) -> dict:
-        """Counters and state for health endpoints / tests."""
-        return {
-            "name": self.name,
-            "state": self.state.value,
-            "failures": self.failures,
-            "successes": self.successes,
-            "consecutive_failures": self.consecutive_failures,
-            "open_count": self.open_count,
-            "open_seconds": self.open_seconds(),
-            "retry_in": self.retry_in(),
-        }
+        """Counters and state for health endpoints / tests (atomic)."""
+        with self._mutex:
+            return {
+                "name": self.name,
+                "state": self.state.value,
+                "failures": self.failures,
+                "successes": self.successes,
+                "consecutive_failures": self.consecutive_failures,
+                "open_count": self.open_count,
+                "open_seconds": self.open_seconds(),
+                "retry_in": self.retry_in(),
+            }
 
     def __repr__(self) -> str:
         return (

@@ -17,6 +17,9 @@ react per *kind* of failure instead of string-matching messages:
                                  missing arrays, checksum mismatch).
 :class:`SnapshotVersionError`    Readable snapshot in an unknown format.
 :class:`WorkerCrashError`        A pool worker died mid-batch.
+:class:`OverloadedError`         The admission queue is full; the
+                                 request was refused (or shed to the
+                                 fallback chain).
 ===============================  =======================================
 
 The taxonomy deliberately multiple-inherits from the builtin types the
@@ -38,6 +41,7 @@ __all__ = [
     "DeadlineExceededError",
     "ModelUnavailableError",
     "CircuitOpenError",
+    "OverloadedError",
     "SnapshotError",
     "SnapshotCorruptError",
     "SnapshotVersionError",
@@ -122,3 +126,30 @@ class SnapshotVersionError(SnapshotError):
 
 class WorkerCrashError(ServingError, RuntimeError):
     """A process-pool worker died while holding part of a batch."""
+
+
+class OverloadedError(ServingError, RuntimeError):
+    """The serving front's admission queue is full.
+
+    Raised by :meth:`repro.serving.batcher.MicroBatcher.submit` when
+    the bounded queue holds ``max_queue`` pending requests and the
+    overload policy is ``"raise"``.  Backpressure beats buffering: an
+    unbounded queue converts overload into unbounded latency for
+    every caller, while a typed rejection lets the client shed load,
+    retry elsewhere, or accept the degraded (fallback-chain) answer.
+
+    Attributes
+    ----------
+    queue_depth:
+        Pending requests at the moment of rejection.
+    max_queue:
+        The configured admission bound.
+    """
+
+    def __init__(self, queue_depth: int, max_queue: int) -> None:
+        super().__init__(
+            f"serving queue is full ({queue_depth}/{max_queue} pending); "
+            "request refused"
+        )
+        self.queue_depth = queue_depth
+        self.max_queue = max_queue

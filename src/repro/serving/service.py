@@ -36,6 +36,7 @@ backoff behaviour is deterministic under test (see
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -208,6 +209,15 @@ class PredictionService:
         self._breaker_seed = breaker_seed
         self._breakers: dict[str, CircuitBreaker] = {}
         self._sanitize_memo: tuple[int, RatingMatrix, np.ndarray] | None = None
+        # Guards the cumulative operational counters and the sanitize
+        # memo.  The obs registry and the request LRU carry their own
+        # locks; the bare `self.x_total += n` updates below do not —
+        # under the concurrent serving front two dispatch threads
+        # read-modify-write the same int and lose increments.  The
+        # critical sections are a handful of int adds, so one mutex
+        # (not striping) is measurably contention-free at batch
+        # granularity.
+        self._state_lock = threading.Lock()
         self._request_cache: LRUCache | None = (
             LRUCache(maxsize=request_cache_size) if request_cache_size > 0 else None
         )
@@ -388,7 +398,8 @@ class PredictionService:
         for many batches, and preserving identity keeps the model's
         per-user caches warm.
         """
-        memo = self._sanitize_memo
+        with self._state_lock:
+            memo = self._sanitize_memo
         if memo is not None and memo[0] == id(given):
             return memo[1], memo[2]
         lo, hi = self._scale
@@ -402,9 +413,10 @@ class PredictionService:
             poisoned_users = bad.any(axis=1)
         else:
             cleaned, poisoned_users = given, np.zeros(given.n_users, dtype=bool)
-        self._sanitize_memo = (id(given), cleaned, poisoned_users)
-        # Hold a reference to the source so id() cannot be recycled.
-        self._sanitize_src = given
+        with self._state_lock:
+            self._sanitize_memo = (id(given), cleaned, poisoned_users)
+            # Hold a reference to the source so id() cannot be recycled.
+            self._sanitize_src = given
         return cleaned, poisoned_users
 
     # ------------------------------------------------------------------
@@ -495,7 +507,8 @@ class PredictionService:
                 f"request {offender} (user={users[offender]}, item={items[offender]}) "
                 "is out of range"
             )
-        self.invalid_total += n_invalid
+        with self._state_lock:
+            self.invalid_total += n_invalid
 
         sanitized_req = np.zeros(n, dtype=bool)
         deadline_hit = False
@@ -590,10 +603,11 @@ class PredictionService:
             )
         else:
             n_degraded = int(np.count_nonzero(levels))
-        self.requests_total += n
-        self.deadline_deferred_total += n_deferred
-        self.sanitized_total += n_sanitized
-        self.degraded_total += n_degraded
+        with self._state_lock:
+            self.requests_total += n
+            self.deadline_deferred_total += n_deferred
+            self.sanitized_total += n_sanitized
+            self.degraded_total += n_degraded
         reg = self.metrics
         if reg.enabled:
             self._m_requests.inc(n)

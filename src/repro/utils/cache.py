@@ -11,10 +11,20 @@ serves many requests for the same user against different items.
 values are keyed by user index but depend on mutable model state (the
 cache must be invalidated on refit/incremental update), and because we
 want introspection (hit/miss counters) for the scalability benchmarks.
+
+The cache is thread-safe: a single mutex guards the ordered dict and
+the hit/miss counters, so the concurrent serving front (the
+micro-batcher's dispatch workers plus any direct callers) can share
+one cache without corrupting the recency list.  ``OrderedDict``
+operations are O(1) and the critical sections hold no other locks, so
+contention stays well below the cost of the cached computations.  The
+mutex is excluded from pickling (a model carrying this cache is
+shipped to spawn-mode pool workers); each process re-creates its own.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Callable, Hashable, Iterator
 
@@ -22,7 +32,7 @@ __all__ = ["LRUCache"]
 
 
 class LRUCache:
-    """Bounded mapping with least-recently-used eviction.
+    """Bounded mapping with least-recently-used eviction (thread-safe).
 
     Parameters
     ----------
@@ -42,13 +52,14 @@ class LRUCache:
     True
     """
 
-    __slots__ = ("_data", "_maxsize", "hits", "misses")
+    __slots__ = ("_data", "_maxsize", "_mutex", "hits", "misses")
 
     def __init__(self, maxsize: int = 1024) -> None:
         if maxsize < 0:
             raise ValueError(f"maxsize must be >= 0, got {maxsize}")
         self._maxsize = int(maxsize)
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._mutex = threading.Lock()
         self.hits = 0
         self.misses = 0
 
@@ -68,27 +79,35 @@ class LRUCache:
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Return the cached value for *key*, refreshing its recency."""
-        try:
-            value = self._data[key]
-        except KeyError:
-            self.misses += 1
-            return default
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._mutex:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert/overwrite *key*, evicting the LRU entry when full."""
         if self._maxsize == 0:
             return
-        if key in self._data:
-            self._data.move_to_end(key)
-        self._data[key] = value
-        if len(self._data) > self._maxsize:
-            self._data.popitem(last=False)
+        with self._mutex:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            if len(self._data) > self._maxsize:
+                self._data.popitem(last=False)
 
     def get_or_compute(self, key: Hashable, factory: Callable[[], Any]) -> Any:
-        """Return cached value for *key*, computing and storing on a miss."""
+        """Return cached value for *key*, computing and storing on a miss.
+
+        The factory runs outside the mutex (it may be expensive); two
+        threads missing concurrently both compute, and the last write
+        wins — acceptable because cached values are deterministic
+        functions of the key.
+        """
         sentinel = object()
         value = self.get(key, sentinel)
         if value is sentinel:
@@ -98,15 +117,30 @@ class LRUCache:
 
     def clear(self) -> None:
         """Drop every entry and reset the hit/miss counters."""
-        self._data.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._mutex:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
 
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from cache (0.0 when no lookups)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    # The mutex cannot cross a pickle boundary (spawn-mode pool workers
+    # receive the model, cache included); state travels without it.
+    def __getstate__(self) -> tuple:
+        with self._mutex:
+            return (self._maxsize, list(self._data.items()), self.hits, self.misses)
+
+    def __setstate__(self, state: tuple) -> None:
+        maxsize, items, hits, misses = state
+        self._maxsize = maxsize
+        self._data = OrderedDict(items)
+        self._mutex = threading.Lock()
+        self.hits = hits
+        self.misses = misses
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

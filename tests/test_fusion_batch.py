@@ -80,6 +80,45 @@ def test_chunk_splitting_is_invisible(fitted):
     np.testing.assert_array_equal(forced, reference)
 
 
+@pytest.mark.stress
+def test_sixteen_threads_of_clones_match_serial_bitwise(fitted):
+    """16 concurrent predict_many calls over borrowed kernel clones.
+
+    The kernel-pool contract, stated at full strength: concurrency
+    must not change a single bit — not 1e-9-close, *equal*.  Each
+    thread borrows a private clone (shared derived matrices, private
+    scratch) and replays the whole request stream; every output array
+    must be byte-identical to the single-threaded reference.
+    """
+    import threading
+
+    model, split, users, items = fitted
+    reference = model.predict_many(split.given, users, items)
+    n_threads = 16
+    outputs = [None] * n_threads
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(n_threads)
+
+    def worker(t):
+        try:
+            clone = model.kernel.clone()
+            barrier.wait()
+            with model.borrowed_kernel(clone):
+                outputs[t] = model.predict_many(split.given, users, items)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not errors
+    for t in range(n_threads):
+        assert outputs[t] is not None
+        np.testing.assert_array_equal(outputs[t], reference)
+
+
 def test_fuse_many_empty_and_zero_k(fitted):
     model, split, _users, _items = fitted
     kernel = model.kernel

@@ -1,0 +1,117 @@
+"""KernelPool: checkout/return, lazy growth, blocking and exhaustion.
+
+The pool is the concurrency throttle for the fusion stage: every
+dispatch borrows a private clone of the non-re-entrant kernel, so
+these tests pin the accounting (created/in_use/free), the laziness
+(clones materialise on demand, never beyond ``max_workers``) and the
+blocking contract (exhausted pool waits; timeout raises).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serving import KernelPool
+
+
+@pytest.fixture(scope="module")
+def template(cfsf_small):
+    cfsf_small.warm_online()
+    return cfsf_small.kernel
+
+
+def test_rejects_missing_template():
+    with pytest.raises(ValueError, match="template"):
+        KernelPool(None)
+
+
+def test_checkout_lends_a_clone_and_returns_it(template):
+    pool = KernelPool(template, max_workers=2)
+    with pool.checkout() as kernel:
+        assert kernel is not template
+        # Clones share the O(P·Q) derived matrices by reference...
+        assert kernel.weight_matrix is template.weight_matrix
+        assert kernel.deviation_matrix is template.deviation_matrix
+        # ...but own their scratch, so concurrent fusing cannot race.
+        assert kernel is not template
+        assert pool.in_use == 1
+    assert pool.in_use == 0
+    assert pool.available == 1
+
+
+def test_lazy_growth_reuses_returned_kernels(template):
+    pool = KernelPool(template, max_workers=8)
+    for _ in range(5):
+        with pool.checkout():
+            pass
+    # Serial checkouts never need a second clone.
+    assert pool.created == 1
+
+    with pool.checkout() as a:
+        with pool.checkout() as b:
+            assert a is not b
+            assert pool.created == 2
+    # Both kernels came back; further checkouts stay at two clones.
+    with pool.checkout():
+        pass
+    assert pool.created == 2
+    assert pool.stats() == {
+        "max_workers": 8,
+        "created": 2,
+        "in_use": 0,
+        "free": 2,
+    }
+
+
+def test_exhausted_pool_times_out(template):
+    pool = KernelPool(template, max_workers=1)
+    with pool.checkout():
+        with pytest.raises(TimeoutError, match="no kernel free"):
+            with pool.checkout(timeout=0.05):
+                pass  # pragma: no cover - never reached
+
+
+def test_exhausted_pool_unblocks_on_return(template):
+    pool = KernelPool(template, max_workers=1)
+    acquired = threading.Event()
+    released = threading.Event()
+
+    def holder():
+        with pool.checkout():
+            acquired.set()
+            assert released.wait(timeout=5.0)
+
+    thread = threading.Thread(target=holder)
+    thread.start()
+    assert acquired.wait(timeout=5.0)
+    # The only kernel is checked out; this blocks until holder returns it.
+    released.set()
+    with pool.checkout(timeout=5.0) as kernel:
+        assert kernel is not None
+    thread.join(timeout=5.0)
+    assert pool.created == 1
+
+
+def test_failed_dispatch_does_not_leak_capacity(template):
+    pool = KernelPool(template, max_workers=1)
+    with pytest.raises(RuntimeError, match="boom"):
+        with pool.checkout():
+            raise RuntimeError("boom")
+    # The kernel went back to the free list despite the raise.
+    with pool.checkout(timeout=0.5):
+        pass
+    assert pool.in_use == 0
+
+
+def test_cloned_kernel_fuses_identically(template, cfsf_small, split_small):
+    """A borrowed clone must not change a single bit of the output."""
+    users, items, _ = split_small.targets_arrays()
+    users, items = users[:64], items[:64]
+    reference = cfsf_small.predict_many(split_small.given, users, items)
+    pool = KernelPool(template, max_workers=2)
+    with pool.checkout() as kernel, cfsf_small.borrowed_kernel(kernel):
+        via_clone = cfsf_small.predict_many(split_small.given, users, items)
+    assert np.array_equal(via_clone, reference)
